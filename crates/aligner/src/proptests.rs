@@ -1,0 +1,103 @@
+//! Property-based tests of the aligner loss and solve.
+
+#![cfg(test)]
+
+use crate::loss::AlignerLoss;
+use crate::solve::{AlignerConfig, QueryAligner};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use seesaw_linalg::{cosine, l2_norm, random_unit_vector};
+use seesaw_optim::{max_gradient_error, Objective};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn gradient_matches_finite_differences_for_random_configs(
+        seed in 0u64..2000,
+        lambda in 0.0f64..20.0,
+        lambda_c in 0.0f64..20.0,
+        n_examples in 1usize..6,
+    ) {
+        let dim = 8;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q0 = random_unit_vector(&mut rng, dim);
+        let xs: Vec<Vec<f32>> = (0..n_examples).map(|_| random_unit_vector(&mut rng, dim)).collect();
+        let refs: Vec<&[f32]> = xs.iter().map(|v| v.as_slice()).collect();
+        let labels: Vec<bool> = (0..n_examples).map(|i| i % 2 == 0).collect();
+        let weights: Vec<f32> = (0..n_examples).map(|i| 0.25 + (i % 3) as f32 * 0.5).collect();
+        let loss = AlignerLoss {
+            examples: &refs,
+            labels: &labels,
+            weights: Some(&weights),
+            q0: &q0,
+            lambda,
+            lambda_c,
+            lambda_d: 0.0,
+            m_d: None,
+        };
+        let w: Vec<f64> = random_unit_vector(&mut rng, dim).iter().map(|&v| v as f64 * 0.7).collect();
+        let err = max_gradient_error(&loss, &w, 1e-6);
+        prop_assert!(err < 1e-3, "gradient error {err}");
+    }
+
+    #[test]
+    fn solution_never_has_higher_loss_than_q0(
+        seed in 0u64..1000,
+        lambda_c in 0.1f64..10.0,
+    ) {
+        // The solve warm-starts at q0, so the returned point's loss can
+        // never exceed the loss at q0.
+        let dim = 12;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q0 = random_unit_vector(&mut rng, dim);
+        let xs: Vec<Vec<f32>> = (0..4).map(|_| random_unit_vector(&mut rng, dim)).collect();
+        let refs: Vec<&[f32]> = xs.iter().map(|v| v.as_slice()).collect();
+        let labels = [true, false, true, false];
+        let cfg = AlignerConfig { lambda: 1.0, lambda_c, lambda_d: 0.0, ..AlignerConfig::default() };
+        let aligner = QueryAligner::new(&q0, cfg.clone());
+        let out = aligner.align_detailed(&refs, &labels, None);
+        let loss = AlignerLoss {
+            examples: &refs,
+            labels: &labels,
+            weights: None,
+            q0: &q0,
+            lambda: cfg.lambda,
+            lambda_c: cfg.lambda_c,
+            lambda_d: 0.0,
+            m_d: None,
+        };
+        let mut g = vec![0.0; dim];
+        let w0: Vec<f64> = q0.iter().map(|&v| v as f64).collect();
+        let at_q0 = loss.value_grad(&w0, &mut g);
+        prop_assert!(out.loss <= at_q0 + 1e-9, "{} > {at_q0}", out.loss);
+        prop_assert!((l2_norm(&out.query) - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn zero_weight_examples_do_not_influence_the_solution(
+        seed in 0u64..1000,
+    ) {
+        let dim = 10;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q0 = random_unit_vector(&mut rng, dim);
+        let real = random_unit_vector(&mut rng, dim);
+        let ghost = random_unit_vector(&mut rng, dim);
+        let aligner = QueryAligner::new(
+            &q0,
+            AlignerConfig { lambda: 1.0, lambda_c: 1.0, lambda_d: 0.0, ..AlignerConfig::default() },
+        );
+        let q_with = aligner.align_weighted(
+            &[&real, &ghost],
+            &[true, false],
+            Some(&[1.0, 0.0]),
+        );
+        let q_without = aligner.align_weighted(&[&real], &[true], Some(&[1.0]));
+        prop_assert!(
+            cosine(&q_with, &q_without) > 0.9999,
+            "ghost example changed the answer: {}",
+            cosine(&q_with, &q_without)
+        );
+    }
+}

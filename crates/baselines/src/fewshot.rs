@@ -1,0 +1,124 @@
+//! Few-shot CLIP (paper §3.2, Eq. 1): plain L2-regularized logistic
+//! regression on the feedback collected so far, with no bias term and no
+//! alignment regularizers. The learned `w` (normalized) replaces the
+//! query vector.
+//!
+//! This is both a baseline in its own right (Tables 2 and 3) and the
+//! ablation step between zero-shot CLIP and CLIP alignment.
+
+use seesaw_linalg::normalized;
+use seesaw_optim::{LogisticConfig, LogisticModel};
+
+/// Accumulates feedback and refits the logistic query each round.
+#[derive(Clone, Debug)]
+pub struct FewShot {
+    q0: Vec<f32>,
+    examples: Vec<Vec<f32>>,
+    labels: Vec<bool>,
+    config: LogisticConfig,
+}
+
+impl FewShot {
+    /// Start from the text query `q0` with the paper's λ = 100 default.
+    pub fn new(q0: &[f32]) -> Self {
+        Self::with_config(q0, LogisticConfig::default())
+    }
+
+    /// Start with an explicit logistic configuration.
+    pub fn with_config(q0: &[f32], config: LogisticConfig) -> Self {
+        Self {
+            q0: normalized(q0),
+            examples: Vec::new(),
+            labels: Vec::new(),
+            config,
+        }
+    }
+
+    /// Record one labeled example.
+    ///
+    /// # Panics
+    /// Panics on a dimension mismatch.
+    pub fn add_feedback(&mut self, x: &[f32], relevant: bool) {
+        assert_eq!(x.len(), self.q0.len(), "feedback dimension mismatch");
+        self.examples.push(x.to_vec());
+        self.labels.push(relevant);
+    }
+
+    /// Number of stored examples.
+    pub fn n_examples(&self) -> usize {
+        self.examples.len()
+    }
+
+    /// The current query: the normalized logistic weight vector, or `q₀`
+    /// while there is no feedback (or when the fit degenerates to zero —
+    /// e.g. λ so large that `w → 0`).
+    pub fn query(&self) -> Vec<f32> {
+        if self.examples.is_empty() {
+            return self.q0.clone();
+        }
+        let refs: Vec<&[f32]> = self.examples.iter().map(|v| v.as_slice()).collect();
+        let Some(model) = LogisticModel::fit(self.q0.len(), &refs, &self.labels, &self.config)
+        else {
+            return self.q0.clone();
+        };
+        let q = normalized(&model.weights);
+        if q.iter().all(|&v| v == 0.0) || q.iter().any(|v| !v.is_finite()) {
+            return self.q0.clone();
+        }
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seesaw_linalg::cosine;
+
+    #[test]
+    fn no_feedback_returns_q0() {
+        let f = FewShot::new(&[0.0, 1.0]);
+        assert_eq!(f.query(), vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn single_positive_dominates_direction() {
+        // The failure mode the paper highlights: w is computed "from
+        // very few vectors from the database" and ignores q0 entirely.
+        let q0 = [1.0f32, 0.0];
+        let mut f = FewShot::new(&q0);
+        f.add_feedback(&[0.0, 1.0], true);
+        let q = f.query();
+        assert!(
+            cosine(&q, &[0.0, 1.0]) > 0.99,
+            "few-shot follows the data, ignoring q0: {q:?}"
+        );
+    }
+
+    #[test]
+    fn positive_and_negative_separate() {
+        let mut f = FewShot::new(&[1.0f32, 0.0, 0.0]);
+        f.add_feedback(&[0.0, 1.0, 0.0], true);
+        f.add_feedback(&[0.0, 0.0, 1.0], false);
+        let q = f.query();
+        assert!(q[1] > 0.0, "{q:?}");
+        assert!(q[2] < 0.0, "{q:?}");
+    }
+
+    #[test]
+    fn all_negative_feedback_is_usable() {
+        let mut f = FewShot::new(&[1.0f32, 0.0]);
+        f.add_feedback(&[0.0, 1.0], false);
+        let q = f.query();
+        // Must point away from the negative.
+        assert!(cosine(&q, &[0.0, 1.0]) < 0.1, "{q:?}");
+        assert!(q.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn example_counter() {
+        let mut f = FewShot::new(&[1.0f32, 0.0]);
+        assert_eq!(f.n_examples(), 0);
+        f.add_feedback(&[0.0, 1.0], true);
+        assert_eq!(f.n_examples(), 1);
+    }
+}

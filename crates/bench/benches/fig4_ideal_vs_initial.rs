@@ -1,0 +1,128 @@
+//! **Figure 4** — ideal query vector vs initial (text) query vector on
+//! the ObjectNet-like dataset: for every category, fit a linear
+//! classifier on the full labels (the over-fit "ideal vector"), then
+//! compare its AP against the zero-shot text query's AP.
+//!
+//! Paper claims: median ideal AP > .9 with >25% reaching 1.0; median
+//! initial AP ≈ .2 on the plotted categories; points lie comfortably
+//! above the diagonal — i.e. concept locality is high and the gap is
+//! mostly *alignment*.
+
+use seesaw_bench::bench_seed;
+use seesaw_core::{ideal_query_vector, DatasetIndex, PreprocessConfig, Preprocessor};
+use seesaw_dataset::{DatasetSpec, SyntheticDataset};
+use seesaw_embed::ConceptId;
+use seesaw_metrics::{median, quantile, ranking_average_precision, TableBuilder};
+
+/// Full-ranking AP of a fixed query vector over all coarse embeddings —
+/// the §3.1 metric (the whole database is ranked, no truncation).
+fn full_ap(index: &DatasetIndex, dataset: &SyntheticDataset, concept: ConceptId, q: &[f32]) -> f64 {
+    let mut scored: Vec<(f32, u32)> = (0..index.n_images() as u32)
+        .map(|i| (seesaw_linalg::dot(q, index.coarse_vector(i)), i))
+        .collect();
+    scored.sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    let relevance: Vec<bool> = scored
+        .iter()
+        .map(|&(_, i)| dataset.truth.is_relevant(concept, i))
+        .collect();
+    ranking_average_precision(&relevance)
+}
+
+fn main() {
+    let scale = 0.01 * seesaw_bench::env_f64("SEESAW_SCALE", 1.0);
+    // Fig. 4 uses every ObjectNet category, not the capped query list.
+    let spec = DatasetSpec::objectnet_like(scale).with_max_queries(0);
+    let ds = spec.generate(bench_seed());
+    eprintln!(
+        "[fig4] objectnet-like: {} images, {} categories, {} queries",
+        ds.n_images(),
+        ds.model.n_concepts(),
+        ds.queries().len()
+    );
+    let idx = Preprocessor::new(PreprocessConfig::fast().coarse_only()).build(&ds);
+
+    let mut initial_aps = Vec::new();
+    let mut ideal_aps = Vec::new();
+    println!("# scatter points: initial_AP ideal_AP (one per category, full-ranking AP)");
+    for q in ds.queries() {
+        let q0 = ds.model.embed_text(q.concept);
+        let initial = full_ap(&idx, &ds, q.concept, &q0);
+        let ideal_vec = ideal_query_vector(&idx, &ds, q.concept);
+        let ideal = full_ap(&idx, &ds, q.concept, &ideal_vec);
+        println!("{initial:.3} {ideal:.3}");
+        initial_aps.push(initial);
+        ideal_aps.push(ideal);
+    }
+
+    let above = initial_aps
+        .iter()
+        .zip(ideal_aps.iter())
+        .filter(|&(&i, &d)| d >= i - 1e-9)
+        .count();
+    let perfect = ideal_aps.iter().filter(|&&a| a >= 0.999).count();
+    // The alignment-deficit subset — the concepts Fig. 4's lower-right
+    // region is about (poor initial alignment, high locality).
+    let misaligned: Vec<f64> = ds
+        .queries()
+        .iter()
+        .zip(initial_aps.iter())
+        .filter(|(q, _)| ds.model.spec(q.concept).deficit_angle > 0.8)
+        .map(|(_, &ap)| ap)
+        .collect();
+    let misaligned_ideal: Vec<f64> = ds
+        .queries()
+        .iter()
+        .zip(ideal_aps.iter())
+        .filter(|(q, _)| ds.model.spec(q.concept).deficit_angle > 0.8)
+        .map(|(_, &ap)| ap)
+        .collect();
+
+    let mut t = TableBuilder::new("Figure 4 — summary")
+        .header(["statistic", "measured", "paper"]);
+    t.row([
+        "median ideal AP".to_string(),
+        format!("{:.2}", median(&ideal_aps)),
+        "> 0.9".to_string(),
+    ]);
+    t.row([
+        "ideal AP p75".to_string(),
+        format!("{:.2}", quantile(&ideal_aps, 0.75)),
+        "1.00 (>25% reach 1)".to_string(),
+    ]);
+    t.row([
+        "frac ideal = 1".to_string(),
+        format!("{:.2}", perfect as f64 / ideal_aps.len().max(1) as f64),
+        "> 0.25".to_string(),
+    ]);
+    t.row([
+        "median initial AP".to_string(),
+        format!("{:.2}", median(&initial_aps)),
+        "~ 0.2 (see note)".to_string(),
+    ]);
+    t.row([
+        "p25 initial AP".to_string(),
+        format!("{:.2}", quantile(&initial_aps, 0.25)),
+        "low".to_string(),
+    ]);
+    t.row([
+        "misaligned: median initial".to_string(),
+        format!("{:.2}", median(&misaligned)),
+        "low".to_string(),
+    ]);
+    t.row([
+        "misaligned: median ideal".to_string(),
+        format!("{:.2}", median(&misaligned_ideal)),
+        "high (locality intact)".to_string(),
+    ]);
+    t.row([
+        "frac above diagonal".to_string(),
+        format!("{:.2}", above as f64 / ideal_aps.len().max(1) as f64),
+        "~ 1.0".to_string(),
+    ]);
+    println!("\n{t}");
+    println!("note: the paper's initial-AP median (~.2) reflects ObjectNet's 0.33%");
+    println!("class prevalence (300 classes / 50K images); at the reduced bench scale");
+    println!("prevalence is ~5%, so well-aligned queries saturate. The operative");
+    println!("claims — ideal ≈ 1 (high locality), misaligned initial ≪ ideal, all");
+    println!("points above the diagonal — are scale-independent and shown above.");
+}

@@ -1,0 +1,113 @@
+//! Criterion micro-benchmarks for the substrate kernels: the per-round
+//! aligner solve (the paper's "a few milliseconds" claim, §4.4), vector
+//! store lookups, kNN-graph construction, label propagation, and the
+//! ENS selection step.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use seesaw_aligner::{compute_db_matrix, AlignerConfig, DbMatrixConfig, QueryAligner};
+use seesaw_baselines::{EnsConfig, EnsSearcher};
+use seesaw_knn::{
+    gaussian_adjacency, propagate_labels, KnnGraph, LabelPropConfig, NnDescentConfig, SigmaRule,
+};
+use seesaw_linalg::random_unit_vector;
+use seesaw_vecstore::{ExactStore, RpForest, RpForestConfig, VectorStore};
+
+const DIM: usize = 128;
+
+fn random_data(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = Vec::with_capacity(n * DIM);
+    for _ in 0..n {
+        data.extend_from_slice(&random_unit_vector(&mut rng, DIM));
+    }
+    data
+}
+
+fn bench_aligner_solve(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let q0 = random_unit_vector(&mut rng, DIM);
+    let examples_data: Vec<Vec<f32>> = (0..60).map(|_| random_unit_vector(&mut rng, DIM)).collect();
+    let examples: Vec<&[f32]> = examples_data.iter().map(|v| v.as_slice()).collect();
+    let labels: Vec<bool> = (0..60).map(|i| i % 7 == 0).collect();
+    let m_d = compute_db_matrix(DIM, &random_data(2000, 2), &DbMatrixConfig::default());
+
+    c.bench_function("aligner_solve_60_examples_clip_only", |b| {
+        let aligner = QueryAligner::new(&q0, AlignerConfig::clip_only());
+        b.iter(|| aligner.align(&examples, &labels))
+    });
+    c.bench_function("aligner_solve_60_examples_full", |b| {
+        let aligner =
+            QueryAligner::new(&q0, AlignerConfig::default()).with_db_matrix(m_d.clone());
+        b.iter(|| aligner.align(&examples, &labels))
+    });
+}
+
+fn bench_vector_store(c: &mut Criterion) {
+    let data = random_data(20_000, 3);
+    let exact = ExactStore::new(DIM, data.clone());
+    let forest = RpForest::build(DIM, data, RpForestConfig::default());
+    let mut rng = StdRng::seed_from_u64(4);
+    let q = random_unit_vector(&mut rng, DIM);
+
+    c.bench_function("store_exact_top10_20k", |b| b.iter(|| exact.top_k(&q, 10)));
+    c.bench_function("store_rpforest_top10_20k", |b| b.iter(|| forest.top_k(&q, 10)));
+}
+
+fn bench_knn_graph(c: &mut Criterion) {
+    let data = random_data(3000, 5);
+    c.bench_function("nn_descent_3k_k10", |b| {
+        b.iter(|| KnnGraph::nn_descent(DIM, &data, 10, &NnDescentConfig::default()))
+    });
+}
+
+fn bench_label_propagation(c: &mut Criterion) {
+    let data = random_data(5000, 6);
+    let graph = KnnGraph::nn_descent(DIM, &data, 10, &NnDescentConfig::default());
+    let adj = gaussian_adjacency(&graph, SigmaRule::SelfTuning(1.0));
+    let labels: Vec<(u32, f32)> = (0..20).map(|i| (i * 17, (i % 2) as f32)).collect();
+    c.bench_function("label_propagation_5k", |b| {
+        b.iter(|| propagate_labels(&adj, &labels, &LabelPropConfig::default()))
+    });
+}
+
+fn bench_ens_select(c: &mut Criterion) {
+    let data = random_data(5000, 7);
+    let graph = KnnGraph::nn_descent(DIM, &data, 20, &NnDescentConfig::default());
+    let priors = vec![0.5f32; 5000];
+    c.bench_function("ens_select_next_5k_horizon60", |b| {
+        b.iter_batched(
+            || {
+                let mut s = EnsSearcher::new(
+                    &graph,
+                    SigmaRule::SelfTuning(1.0),
+                    priors.clone(),
+                    &EnsConfig { prior_weight: 1.0, horizon: 60 },
+                );
+                s.observe(0, true);
+                s.observe(1, false);
+                s
+            },
+            |s| s.select_next(),
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // Small sample counts: the kernels are deterministic and some (NN-
+    // descent builds) take hundreds of milliseconds per iteration.
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets =
+        bench_aligner_solve,
+        bench_vector_store,
+        bench_knn_graph,
+        bench_label_propagation,
+        bench_ens_select
+}
+criterion_main!(benches);

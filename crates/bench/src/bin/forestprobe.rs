@@ -1,0 +1,59 @@
+//! Developer probe: RP-forest recall on realistic patch distributions
+//! as a function of tree count / leaf size / search_k.
+
+use seesaw_bench::bench_seed;
+use seesaw_core::{PreprocessConfig, Preprocessor};
+use seesaw_dataset::DatasetSpec;
+use seesaw_vecstore::{ExactStore, RpForest, RpForestConfig, VectorStore};
+
+fn main() {
+    let ds = DatasetSpec::lvis_like(0.01).with_max_queries(20).generate(bench_seed());
+    let mut cfg = PreprocessConfig::fast();
+    cfg.build_db_matrix = false;
+    cfg.build_propagation = false;
+    cfg.build_coarse_graph = false;
+    let idx = Preprocessor::new(cfg).build(&ds);
+    let data = idx.embeddings.as_slice().to_vec();
+    let exact = ExactStore::new(idx.dim, data.clone());
+    let queries: Vec<Vec<f32>> = ds
+        .queries()
+        .iter()
+        .map(|q| ds.model.embed_text(q.concept))
+        .collect();
+    println!("n = {} patches, dim = {}", idx.n_patches(), idx.dim);
+    println!(
+        "{:>7} {:>5} {:>9} {:>9} {:>9}",
+        "trees", "leaf", "sk=1024", "sk=4096", "sk=16384"
+    );
+    for (trees, leaf) in [(16usize, 32usize), (32, 16), (64, 16), (32, 8), (64, 8)] {
+        let forest = RpForest::build(
+            idx.dim,
+            data.clone(),
+            RpForestConfig {
+                n_trees: trees,
+                leaf_size: leaf,
+                search_k: 4096,
+                seed: 1,
+            },
+        );
+        let mut cells = Vec::new();
+        for sk in [1024usize, 4096, 16384] {
+            let mut hit = 0;
+            let mut total = 0;
+            for q in &queries {
+                let truth = exact.top_k(q, 10);
+                let approx = forest.top_k_with_search_k(q, 10, sk, &|_| true);
+                total += truth.len();
+                hit += truth
+                    .iter()
+                    .filter(|t| approx.iter().any(|h| h.id == t.id))
+                    .count();
+            }
+            cells.push(hit as f64 / total.max(1) as f64);
+        }
+        println!(
+            "{trees:>7} {leaf:>5} {:>9.3} {:>9.3} {:>9.3}",
+            cells[0], cells[1], cells[2]
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! Developer probe: how far does the aligned query move from q0 across
+//! rounds, per hyperparameter setting, on hard coarse queries?
+
+use seesaw_aligner::AlignerConfig;
+use seesaw_bench::{ap_per_query, bench_seed, hard_subset, mean_ap, select_hard};
+use seesaw_core::{Method, MethodConfig, PreprocessConfig, Preprocessor, Session, SimulatedUser};
+use seesaw_dataset::DatasetSpec;
+use seesaw_metrics::BenchmarkProtocol;
+
+fn main() {
+    for spec in [
+        DatasetSpec::objectnet_like(0.01).with_max_queries(30),
+        DatasetSpec::lvis_like(0.01).with_max_queries(30),
+    ] {
+        probe(spec);
+    }
+}
+
+fn probe(spec: DatasetSpec) {
+    let ds = spec.generate(bench_seed());
+    let idx = Preprocessor::new(PreprocessConfig::fast().coarse_only()).build(&ds);
+    let proto = BenchmarkProtocol::default();
+
+    // Hard queries under zero-shot.
+    let zs = ap_per_query(&idx, &ds, &|_, _, _| MethodConfig::zero_shot(), &proto);
+    let hard = hard_subset(&zs);
+    println!(
+        "objectnet-like: {} queries, {} hard, zshot mAP {:.3} (hard {:.3})",
+        zs.len(),
+        hard.len(),
+        mean_ap(&zs),
+        mean_ap(&select_hard(&zs, &hard))
+    );
+
+    // Trace query movement for the first hard query under default SeeSaw.
+    if let Some(&hq) = hard.first() {
+        let concept = ds.queries()[hq].concept;
+        let user = SimulatedUser::new(&ds);
+        let mut s = Session::start(&idx, &ds, concept, MethodConfig::seesaw());
+        println!("movement trace for hard concept {concept} (deficit {:.2}):", ds.model.spec(concept).deficit_angle);
+        for round in 0..30 {
+            let batch = s.next_batch(1);
+            let Some(&img) = batch.first() else { break };
+            let fb = user.annotate(img, concept);
+            let rel = fb.relevant;
+            s.feedback(fb);
+            let cos_q0 = seesaw_linalg::cosine(s.current_query(), s.q0());
+            let cos_tgt =
+                seesaw_linalg::cosine(s.current_query(), ds.model.concept_direction(concept));
+            if round % 5 == 0 || rel {
+                println!(
+                    "  round {round:>2} rel={} cos(q,q0)={cos_q0:.3} cos(q,concept)={cos_tgt:.3}",
+                    rel as u8
+                );
+            }
+        }
+    }
+
+    // Hyperparameter sweep on the hard subset.
+    println!("\nsweep (coarse, hard subset of {} queries):", hard.len());
+    println!("{:>8} {:>8} {:>8} | {:>7} {:>7}", "lambda", "l_c", "l_d", "mAP", "hard");
+    for (l, lc, ld) in [
+        (1.0, 1.0, 0.0),
+        (1.0, 0.5, 0.0),
+        (1.0, 2.0, 0.0),
+        (1.0, 1.0, 3.0),
+        (1.0, 1.0, 10.0),
+        (1.0, 1.0, 30.0),
+        (1.0, 1.0, 100.0),
+        (0.3, 1.0, 10.0),
+        (3.0, 1.0, 10.0),
+    ] {
+        let aps = ap_per_query(
+            &idx,
+            &ds,
+            &|_, _, _| MethodConfig {
+                method: Method::SeeSaw(AlignerConfig {
+                    lambda: l,
+                    lambda_c: lc,
+                    lambda_d: ld,
+                    ..AlignerConfig::default()
+                }),
+                search_k: 8192,
+            },
+            &proto,
+        );
+        println!(
+            "{l:>8} {lc:>8} {ld:>8} | {:>7.3} {:>7.3}",
+            mean_ap(&aps),
+            mean_ap(&select_hard(&aps, &hard))
+        );
+    }
+}

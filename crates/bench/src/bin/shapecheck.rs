@@ -1,0 +1,50 @@
+//! Quick qualitative check that the reproduction exhibits the paper's
+//! orderings before running the full table benches. Developer tool, not
+//! a paper artifact.
+
+use seesaw_bench::{ap_per_query, bench_suite, build_indexes, hard_subset, mean_ap, select_hard, IndexNeeds};
+use seesaw_core::MethodConfig;
+use seesaw_metrics::BenchmarkProtocol;
+
+fn main() {
+    let specs = bench_suite();
+    let needs = IndexNeeds {
+        multiscale: true,
+        coarse: true,
+        db_matrix: true,
+        propagation: false,
+        ens_graph: false,
+    };
+    let built = build_indexes(&specs, needs);
+    let proto = BenchmarkProtocol::default();
+
+    println!("dataset        idx    n_img n_patch  zshot  fshot  qalign seesaw | hard: zs fs qa ss (n)");
+    for b in &built {
+        for (label, idx) in [
+            ("coarse", b.coarse.as_ref().unwrap()),
+            ("multi", b.multiscale.as_ref().unwrap()),
+        ] {
+            let zs = ap_per_query(idx, &b.dataset, &|_, _, _| MethodConfig::zero_shot(), &proto);
+            let fs = ap_per_query(idx, &b.dataset, &|_, _, _| MethodConfig::seesaw_few_shot(), &proto);
+            let qa = ap_per_query(idx, &b.dataset, &|_, _, _| MethodConfig::seesaw_clip_only(), &proto);
+            let ss = ap_per_query(idx, &b.dataset, &|_, _, _| MethodConfig::seesaw(), &proto);
+            let hard = hard_subset(&zs);
+            println!(
+                "{:<14} {:<6} {:>5} {:>7} {:>6.3} {:>6.3} {:>6.3} {:>6.3} |      {:.2} {:.2} {:.2} {:.2} ({})",
+                b.dataset.name,
+                label,
+                b.dataset.n_images(),
+                idx.n_patches(),
+                mean_ap(&zs),
+                mean_ap(&fs),
+                mean_ap(&qa),
+                mean_ap(&ss),
+                mean_ap(&select_hard(&zs, &hard)),
+                mean_ap(&select_hard(&fs, &hard)),
+                mean_ap(&select_hard(&qa, &hard)),
+                mean_ap(&select_hard(&ss, &hard)),
+                hard.len(),
+            );
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Dataset and index construction shared by the bench targets.
+
+use seesaw_core::{PreprocessConfig, Preprocessor};
+use seesaw_dataset::{DatasetSpec, SyntheticDataset};
+
+use crate::{env_f64, env_usize};
+
+/// Experiment seed (`SEESAW_SEED`, default 7).
+pub fn bench_seed() -> u64 {
+    env_usize("SEESAW_SEED", 7) as u64
+}
+
+/// The four paper datasets at bench scale, in the paper's column order
+/// (LVIS, ObjNet, COCO, BDD). The default scale is 1% of the paper's
+/// image counts; `SEESAW_SCALE` multiplies it.
+pub fn bench_suite() -> Vec<DatasetSpec> {
+    let scale = 0.01 * env_f64("SEESAW_SCALE", 1.0);
+    let max_q = env_usize("SEESAW_QUERIES", 40);
+    DatasetSpec::paper_suite(scale)
+        .into_iter()
+        .map(|s| {
+            let cap = max_q.min(s.max_queries.max(1));
+            s.with_max_queries(cap)
+        })
+        .collect()
+}
+
+/// Which preprocessing artifacts a bench target needs — building only
+/// what is used keeps the suite fast.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IndexNeeds {
+    /// Build the multiscale index.
+    pub multiscale: bool,
+    /// Build the coarse-only index.
+    pub coarse: bool,
+    /// Compute `M_D` (DB alignment).
+    pub db_matrix: bool,
+    /// Keep the patch adjacency (propagation variant).
+    pub propagation: bool,
+    /// Build the coarse kNN graph (ENS).
+    pub ens_graph: bool,
+}
+
+impl IndexNeeds {
+    /// Everything (Table 6 needs it all).
+    pub fn all() -> Self {
+        Self {
+            multiscale: true,
+            coarse: true,
+            db_matrix: true,
+            propagation: true,
+            ens_graph: true,
+        }
+    }
+
+    /// Zero-shot only: coarse + multiscale stores, no graph artifacts.
+    pub fn stores_only() -> Self {
+        Self {
+            multiscale: true,
+            coarse: true,
+            ..Self::default()
+        }
+    }
+}
+
+/// A dataset with the indexes a bench target asked for.
+pub struct BuiltDataset {
+    /// The generated dataset.
+    pub dataset: SyntheticDataset,
+    /// Multiscale index (§4.3 representation), if requested.
+    pub multiscale: Option<seesaw_core::DatasetIndex>,
+    /// Coarse-only index, if requested.
+    pub coarse: Option<seesaw_core::DatasetIndex>,
+}
+
+fn preprocess_config(needs: &IndexNeeds, multiscale: bool) -> PreprocessConfig {
+    let mut cfg = PreprocessConfig::fast();
+    cfg.multiscale = multiscale;
+    cfg.build_db_matrix = needs.db_matrix;
+    cfg.build_propagation = needs.propagation;
+    cfg.build_coarse_graph = needs.ens_graph;
+    // The paper's §4.2 subsampling optimization keeps M_D affordable on
+    // multiscale patch sets at larger SEESAW_SCALE values; it only
+    // engages above the threshold, so default-scale runs use all
+    // vectors when propagation is not simultaneously requested.
+    if !needs.propagation {
+        cfg.db_matrix_sample = Some(20_000);
+    }
+    cfg
+}
+
+/// Generate each spec and build the requested indexes, logging progress
+/// to stderr (bench targets are long-running; silence is unfriendly).
+pub fn build_indexes(specs: &[DatasetSpec], needs: IndexNeeds) -> Vec<BuiltDataset> {
+    let seed = bench_seed();
+    specs
+        .iter()
+        .map(|spec| {
+            eprintln!(
+                "[seesaw-bench] generating {} ({} images)…",
+                spec.name, spec.n_images
+            );
+            let dataset = spec.generate(seed);
+            let multiscale = needs.multiscale.then(|| {
+                eprintln!("[seesaw-bench]   multiscale index…");
+                Preprocessor::new(preprocess_config(&needs, true)).build(&dataset)
+            });
+            let coarse = needs.coarse.then(|| {
+                eprintln!("[seesaw-bench]   coarse index…");
+                Preprocessor::new(preprocess_config(&needs, false)).build(&dataset)
+            });
+            BuiltDataset {
+                dataset,
+                multiscale,
+                coarse,
+            }
+        })
+        .collect()
+}

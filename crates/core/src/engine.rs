@@ -1,0 +1,176 @@
+//! The server layer of Figure 3: a thread-safe façade that owns many
+//! concurrent [`Session`]s over one preprocessed index — "a server
+//! layer, which we will call the query aligner, mediating between the
+//! other components".
+//!
+//! Interactive front-ends talk to an [`Engine`] by session id; each
+//! call locks only the session registry briefly, so concurrent users
+//! (the §5.5 study ran 40) do not serialize on each other's alignment
+//! solves.
+
+use parking_lot::Mutex;
+use seesaw_dataset::{ImageId, SyntheticDataset};
+use seesaw_embed::ConceptId;
+use std::collections::HashMap;
+
+use crate::index::DatasetIndex;
+use crate::session::{MethodConfig, Session};
+use crate::user::Feedback;
+
+/// Opaque handle to a running search session.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SessionId(u64);
+
+/// Aggregate progress of one session.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SessionStats {
+    /// Images shown so far.
+    pub images_shown: usize,
+    /// Cosine between `q₀` and the current (aligned) query — how far
+    /// feedback has moved the search.
+    pub query_drift: f32,
+}
+
+/// A multi-session search server over one dataset index.
+pub struct Engine<'a> {
+    index: &'a DatasetIndex,
+    dataset: &'a SyntheticDataset,
+    sessions: Mutex<HashMap<SessionId, Session<'a>>>,
+    next_id: Mutex<u64>,
+}
+
+impl<'a> Engine<'a> {
+    /// Create an engine over a preprocessed index.
+    pub fn new(index: &'a DatasetIndex, dataset: &'a SyntheticDataset) -> Self {
+        Self {
+            index,
+            dataset,
+            sessions: Mutex::new(HashMap::new()),
+            next_id: Mutex::new(0),
+        }
+    }
+
+    /// Start a new search for `concept` (Listing 1 line 2).
+    pub fn create_session(&self, concept: ConceptId, config: MethodConfig) -> SessionId {
+        let session = Session::start(self.index, self.dataset, concept, config);
+        let mut next = self.next_id.lock();
+        let id = SessionId(*next);
+        *next += 1;
+        self.sessions.lock().insert(id, session);
+        id
+    }
+
+    /// Number of live sessions.
+    pub fn live_sessions(&self) -> usize {
+        self.sessions.lock().len()
+    }
+
+    /// Fetch the next batch of results for a session; `None` for an
+    /// unknown id.
+    pub fn next_batch(&self, id: SessionId, n: usize) -> Option<Vec<ImageId>> {
+        self.sessions.lock().get_mut(&id).map(|s| s.next_batch(n))
+    }
+
+    /// Submit feedback for a session; returns false for an unknown id.
+    pub fn feedback(&self, id: SessionId, fb: Feedback) -> bool {
+        match self.sessions.lock().get_mut(&id) {
+            Some(s) => {
+                s.feedback(fb);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Progress statistics; `None` for an unknown id.
+    pub fn stats(&self, id: SessionId) -> Option<SessionStats> {
+        self.sessions.lock().get(&id).map(|s| SessionStats {
+            images_shown: s.n_seen(),
+            query_drift: seesaw_linalg::cosine(s.q0(), s.current_query()),
+        })
+    }
+
+    /// Terminate a session; returns whether it existed.
+    pub fn close(&self, id: SessionId) -> bool {
+        self.sessions.lock().remove(&id).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preprocess::{PreprocessConfig, Preprocessor};
+    use crate::user::SimulatedUser;
+    use seesaw_dataset::DatasetSpec;
+
+    fn setup() -> (SyntheticDataset, DatasetIndex) {
+        let ds = DatasetSpec::coco_like(0.001).with_max_queries(6).generate(77);
+        let idx = Preprocessor::new(PreprocessConfig::fast()).build(&ds);
+        (ds, idx)
+    }
+
+    #[test]
+    fn sessions_are_isolated() {
+        let (ds, idx) = setup();
+        let engine = Engine::new(&idx, &ds);
+        let a = engine.create_session(ds.queries()[0].concept, MethodConfig::seesaw());
+        let b = engine.create_session(ds.queries()[1].concept, MethodConfig::zero_shot());
+        assert_ne!(a, b);
+        assert_eq!(engine.live_sessions(), 2);
+
+        let user = SimulatedUser::new(&ds);
+        let batch_a = engine.next_batch(a, 2).unwrap();
+        for img in batch_a {
+            let fb = user.annotate(img, ds.queries()[0].concept);
+            assert!(engine.feedback(a, fb));
+        }
+        // Session b is untouched by a's feedback.
+        let stats_b = engine.stats(b).unwrap();
+        assert_eq!(stats_b.images_shown, 0);
+        assert!((stats_b.query_drift - 1.0).abs() < 1e-5);
+
+        assert!(engine.close(a));
+        assert!(!engine.close(a));
+        assert_eq!(engine.live_sessions(), 1);
+    }
+
+    #[test]
+    fn unknown_ids_are_rejected() {
+        let (ds, idx) = setup();
+        let engine = Engine::new(&idx, &ds);
+        let ghost = SessionId(999);
+        assert!(engine.next_batch(ghost, 1).is_none());
+        assert!(engine.stats(ghost).is_none());
+        assert!(!engine.feedback(
+            ghost,
+            Feedback { image: 0, relevant: false, boxes: vec![] }
+        ));
+    }
+
+    #[test]
+    fn concurrent_sessions_from_threads() {
+        let (ds, idx) = setup();
+        let engine = Engine::new(&idx, &ds);
+        let user = SimulatedUser::new(&ds);
+        crossbeam::thread::scope(|scope| {
+            for q in ds.queries().iter().take(4) {
+                let engine = &engine;
+                let user = &user;
+                let concept = q.concept;
+                scope.spawn(move |_| {
+                    let id = engine.create_session(concept, MethodConfig::seesaw());
+                    for _ in 0..4 {
+                        let Some(batch) = engine.next_batch(id, 1) else { break };
+                        for img in batch {
+                            engine.feedback(id, user.annotate(img, concept));
+                        }
+                    }
+                    let stats = engine.stats(id).unwrap();
+                    assert_eq!(stats.images_shown, 4);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(engine.live_sessions(), 4);
+    }
+}

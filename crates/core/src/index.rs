@@ -1,0 +1,85 @@
+//! The preprocessed dataset index: everything Figure 3's top row
+//! produces, ready for interactive querying.
+
+use seesaw_dataset::{BBox, ImageId};
+use seesaw_knn::KnnGraph;
+use seesaw_linalg::{CsrMatrix, DenseMatrix};
+use seesaw_vecstore::RpForest;
+
+/// Where a patch vector came from.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PatchMeta {
+    /// Owning image.
+    pub image: ImageId,
+    /// Patch region within the image.
+    pub bbox: BBox,
+    /// Whether this is the coarse (full-image) patch.
+    pub is_coarse: bool,
+}
+
+/// The output of preprocessing: patch embeddings, their metadata, the
+/// approximate vector store, and the database-alignment artifacts.
+#[derive(Clone, Debug)]
+pub struct DatasetIndex {
+    /// Embedding dimension.
+    pub dim: usize,
+    /// All patch embeddings (`n_patches × dim`), unit rows.
+    pub embeddings: DenseMatrix,
+    /// Metadata parallel to `embeddings` rows.
+    pub patches: Vec<PatchMeta>,
+    /// Per image: `[start, end)` range of its patch ids (patches of one
+    /// image are contiguous).
+    pub image_patch_ranges: Vec<(u32, u32)>,
+    /// Per image: the patch id of its coarse tile.
+    pub coarse_patches: Vec<u32>,
+    /// Approximate MIPS store over all patches.
+    pub store: RpForest,
+    /// The precomputed `M_D` (present when DB alignment was requested).
+    pub m_d: Option<DenseMatrix>,
+    /// Symmetrized weighted adjacency over *all patches* (present when
+    /// the propagation variant was requested; this is the structure the
+    /// `prop.` rows of Table 6 must sweep every round).
+    pub patch_adjacency: Option<CsrMatrix>,
+    /// Coarse-level kNN graph (present when ENS support was requested;
+    /// the paper evaluates ENS on coarse embeddings only).
+    pub coarse_graph: Option<KnnGraph>,
+    /// Whether the index contains multiscale patches (false = coarse
+    /// only).
+    pub multiscale: bool,
+}
+
+impl DatasetIndex {
+    /// Number of indexed images.
+    pub fn n_images(&self) -> usize {
+        self.image_patch_ranges.len()
+    }
+
+    /// Number of patch vectors (the "vectors" column of Table 6).
+    pub fn n_patches(&self) -> usize {
+        self.patches.len()
+    }
+
+    /// Borrow the embedding of patch `id`.
+    pub fn patch_vector(&self, id: u32) -> &[f32] {
+        self.embeddings.row(id as usize)
+    }
+
+    /// Borrow the coarse embedding of `image`.
+    pub fn coarse_vector(&self, image: ImageId) -> &[f32] {
+        self.patch_vector(self.coarse_patches[image as usize])
+    }
+
+    /// Patch ids belonging to `image`.
+    pub fn patches_of(&self, image: ImageId) -> std::ops::Range<u32> {
+        let (s, e) = self.image_patch_ranges[image as usize];
+        s..e
+    }
+
+    /// Score an image as the max patch score (§4.3: "an image's score is
+    /// computed as the maximum score of any of its patches").
+    pub fn image_score(&self, image: ImageId, query: &[f32]) -> f32 {
+        self.patches_of(image)
+            .map(|p| seesaw_linalg::dot(query, self.patch_vector(p)))
+            .fold(f32::NEG_INFINITY, f32::max)
+    }
+}

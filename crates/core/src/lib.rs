@@ -1,0 +1,41 @@
+//! The SeeSaw engine: preprocessing pipeline, multiscale representation,
+//! and the interactive search session (paper §2 and Listing 1).
+//!
+//! The flow mirrors Figure 3 of the paper:
+//!
+//! ```text
+//! preprocessing:  raw images ──► multiscale tiles ──► CLIP image tower
+//!                 ──► vector store (Annoy)  +  kNN graph ──► M_D
+//!
+//! interaction:    text query ──► CLIP text tower ──► q₀
+//!                 loop { lookup ──► show ──► box feedback ──► align }
+//! ```
+//!
+//! * [`tiling`] — the coarse + half-scale patch grid (§4.3);
+//! * [`preprocess`] — one-time dataset pass producing a [`DatasetIndex`];
+//! * [`session`] — [`Session`], one running query with any [`Method`]
+//!   (zero-shot, few-shot, Rocchio, ENS, SeeSaw, SeeSaw-prop);
+//! * [`user`] — the simulated user that answers with ground-truth boxes
+//!   (the §5.1 benchmark protocol);
+//! * [`runner`] — drives a session against the protocol and yields a
+//!   `SearchTrace` for AP scoring;
+//! * [`ideal`] — the full-label "ideal query vector" of Fig. 4.
+
+pub mod engine;
+pub mod ideal;
+pub mod index;
+pub mod persist;
+pub mod preprocess;
+pub mod runner;
+pub mod session;
+pub mod tiling;
+pub mod user;
+
+pub use engine::{Engine, SessionId, SessionStats};
+pub use persist::{load_embeddings, save_embeddings};
+pub use ideal::ideal_query_vector;
+pub use index::{DatasetIndex, PatchMeta};
+pub use preprocess::{PreprocessConfig, Preprocessor};
+pub use runner::{run_benchmark_query, RunOutcome};
+pub use session::{Method, MethodConfig, Session};
+pub use user::{Feedback, SimulatedUser};

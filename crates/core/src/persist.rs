@@ -1,0 +1,181 @@
+//! Binary persistence of a preprocessed [`DatasetIndex`].
+//!
+//! §2.4: preprocessing "costs are incurred once per dataset and are then
+//! amortized across all subsequent queries" — which only pays off if
+//! the artifacts survive the process. This module writes the index to a
+//! single file (simple length-prefixed little-endian format, no
+//! external dependencies) and reads it back.
+//!
+//! The vector store and graphs are *rebuilt deterministically* from the
+//! persisted embeddings and configuration rather than serialized
+//! structurally: the embedding pass dominates preprocessing cost (it is
+//! the part the paper runs on GPUs), while index construction is cheap
+//! and this keeps the on-disk format small and stable.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use seesaw_dataset::BBox;
+
+use crate::index::{DatasetIndex, PatchMeta};
+use crate::preprocess::PreprocessConfig;
+
+const MAGIC: &[u8; 8] = b"SEESAW01";
+
+/// Write the index's embeddings and patch layout to `path`.
+///
+/// # Errors
+/// Propagates I/O errors from the filesystem.
+pub fn save_embeddings(index: &DatasetIndex, path: &Path) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    write_u64(&mut w, index.dim as u64)?;
+    write_u64(&mut w, index.n_patches() as u64)?;
+    write_u64(&mut w, index.n_images() as u64)?;
+    write_u64(&mut w, index.multiscale as u64)?;
+    // Patch metadata.
+    for p in &index.patches {
+        write_u64(&mut w, p.image as u64)?;
+        write_u64(&mut w, p.is_coarse as u64)?;
+        for v in [p.bbox.x, p.bbox.y, p.bbox.w, p.bbox.h] {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    for &(s, e) in &index.image_patch_ranges {
+        write_u64(&mut w, s as u64)?;
+        write_u64(&mut w, e as u64)?;
+    }
+    // Embedding block.
+    for &v in index.embeddings.as_slice() {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Read an index back from `path`, rebuilding the store, graphs, and
+/// `M_D` deterministically with `config`.
+///
+/// # Errors
+/// Returns `InvalidData` on a malformed or truncated file.
+pub fn load_embeddings(path: &Path, config: &PreprocessConfig) -> io::Result<DatasetIndex> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let dim = read_u64(&mut r)? as usize;
+    let n_patches = read_u64(&mut r)? as usize;
+    let n_images = read_u64(&mut r)? as usize;
+    let multiscale = read_u64(&mut r)? != 0;
+    if dim == 0 || dim > 65_536 || n_patches < n_images {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad header"));
+    }
+    let mut patches = Vec::with_capacity(n_patches);
+    for _ in 0..n_patches {
+        let image = read_u64(&mut r)? as u32;
+        let is_coarse = read_u64(&mut r)? != 0;
+        let mut f = [0f32; 4];
+        for v in f.iter_mut() {
+            let mut b = [0u8; 4];
+            r.read_exact(&mut b)?;
+            *v = f32::from_le_bytes(b);
+        }
+        patches.push(PatchMeta {
+            image,
+            bbox: BBox::new(f[0], f[1], f[2], f[3]),
+            is_coarse,
+        });
+    }
+    let mut image_patch_ranges = Vec::with_capacity(n_images);
+    for _ in 0..n_images {
+        let s = read_u64(&mut r)? as u32;
+        let e = read_u64(&mut r)? as u32;
+        if (e as usize) > n_patches || s > e {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad range"));
+        }
+        image_patch_ranges.push((s, e));
+    }
+    let mut embeddings = vec![0f32; n_patches * dim];
+    for v in embeddings.iter_mut() {
+        let mut b = [0u8; 4];
+        r.read_exact(&mut b)?;
+        *v = f32::from_le_bytes(b);
+    }
+    Ok(crate::preprocess::rebuild_from_embeddings(
+        dim,
+        embeddings,
+        patches,
+        image_patch_ranges,
+        multiscale,
+        config,
+    ))
+}
+
+fn write_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preprocess::Preprocessor;
+    use seesaw_dataset::DatasetSpec;
+
+    #[test]
+    fn roundtrip_preserves_embeddings_and_search() {
+        let ds = DatasetSpec::coco_like(0.001).with_max_queries(5).generate(3);
+        let cfg = PreprocessConfig::fast();
+        let index = Preprocessor::new(cfg.clone()).build(&ds);
+        let dir = std::env::temp_dir().join("seesaw-persist-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("index.bin");
+        save_embeddings(&index, &path).unwrap();
+        let loaded = load_embeddings(&path, &cfg).unwrap();
+        assert_eq!(loaded.dim, index.dim);
+        assert_eq!(loaded.embeddings, index.embeddings);
+        assert_eq!(loaded.patches, index.patches);
+        assert_eq!(loaded.coarse_patches, index.coarse_patches);
+        assert_eq!(loaded.multiscale, index.multiscale);
+        // Store behaviour identical (deterministic rebuild).
+        let q = ds.model.embed_text(ds.queries()[0].concept);
+        use seesaw_vecstore::VectorStore;
+        assert_eq!(index.store.top_k(&q, 5), loaded.store.top_k(&q, 5));
+        // Graph artifacts present per the config.
+        assert_eq!(loaded.m_d.is_some(), index.m_d.is_some());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_file_is_rejected() {
+        let dir = std::env::temp_dir().join("seesaw-persist-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.bin");
+        std::fs::write(&path, b"not an index at all").unwrap();
+        let err = load_embeddings(&path, &PreprocessConfig::fast());
+        assert!(err.is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let ds = DatasetSpec::coco_like(0.0).with_max_queries(3).generate(3);
+        let cfg = PreprocessConfig::fast();
+        let index = Preprocessor::new(cfg.clone()).build(&ds);
+        let dir = std::env::temp_dir().join("seesaw-persist-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trunc.bin");
+        save_embeddings(&index, &path).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        assert!(load_embeddings(&path, &cfg).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

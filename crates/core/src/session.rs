@@ -1,0 +1,784 @@
+//! The interactive search session — Listing 1 of the paper, for every
+//! method under evaluation.
+//!
+//! ```text
+//! feedback_map ← {}
+//! query_vector ← CLIP.embed_string(text_query)
+//! while true:
+//!     img_id       ← vector_store.lookup(query_vector)
+//!     img_feedback ← UI.show(img_id)
+//!     feedback_map.update(img_id, img_feedback)
+//!     query_vector ← query_align(feedback_map)
+//! ```
+//!
+//! The [`Method`] enum selects what `query_align` does: nothing
+//! (zero-shot), logistic refit (few-shot), Rocchio's formula, the ENS
+//! active-search policy, the SeeSaw aligner (CLIP + DB alignment), or
+//! the label-propagation variant (`prop.`, the Table 6 comparator).
+
+use seesaw_aligner::{AlignerConfig, QueryAligner};
+use seesaw_baselines::{EnsConfig, EnsSearcher, Rocchio, RocchioConfig};
+use seesaw_dataset::{ImageId, SyntheticDataset};
+use seesaw_embed::ConceptId;
+use seesaw_knn::{propagate_labels, LabelPropConfig, SigmaRule};
+use seesaw_linalg::normalized;
+
+use crate::index::DatasetIndex;
+use crate::user::Feedback;
+
+/// Which `query_align` strategy a session runs.
+#[derive(Clone, Debug)]
+pub enum Method {
+    /// CLIP alone — the fixed `q₀`, feedback ignored.
+    ZeroShot,
+    /// A caller-supplied fixed query vector (used for the Fig. 4 ideal
+    /// vector and diagnostics).
+    FixedVector(Vec<f32>),
+    /// Few-shot CLIP (Eq. 1): logistic refit on the feedback.
+    FewShot,
+    /// Rocchio's algorithm (Eq. 6).
+    Rocchio(RocchioConfig),
+    /// Efficient Nonmyopic Search over coarse embeddings, with CLIP
+    /// priors; `priors` overrides them (Platt-calibrated variant).
+    Ens {
+        /// Initial reward horizon (paper: 60).
+        horizon: usize,
+        /// Optional calibrated per-image priors (Table 4 second row).
+        priors: Option<Vec<f32>>,
+        /// Bandwidth rule for the ENS kNN weights.
+        sigma: SigmaRule,
+    },
+    /// The SeeSaw aligner. DB alignment activates when the index carries
+    /// an `M_D` and `lambda_d > 0`.
+    SeeSaw(AlignerConfig),
+    /// SeeSaw bootstrapped with *blind* (pseudo-relevance) feedback —
+    /// the paper's future-work direction of "reducing or removing
+    /// explicit user feedback": the top `assume_top` patches of the
+    /// initial lookup are treated as weak positives (weight
+    /// `pseudo_weight` each) before any user input, classic
+    /// blind-feedback style; real feedback then accumulates on top.
+    SeeSawBlind {
+        /// Aligner settings.
+        aligner: AlignerConfig,
+        /// How many initial top patches to pseudo-label positive.
+        assume_top: usize,
+        /// Evidence weight of each pseudo-positive (≪ 1).
+        pseudo_weight: f32,
+    },
+    /// SeeSaw with explicit label propagation every round — the
+    /// interactivity comparator of Table 6 (§4.2 explains why this is
+    /// the slow path).
+    SeeSawProp {
+        /// Aligner settings for the fit on propagated labels.
+        aligner: AlignerConfig,
+        /// Propagation settings.
+        prop: LabelPropConfig,
+        /// How many pseudo-labeled vectors to fit on.
+        fit_sample: usize,
+    },
+}
+
+/// A method plus the lookup budget.
+#[derive(Clone, Debug)]
+pub struct MethodConfig {
+    /// The `query_align` strategy.
+    pub method: Method,
+    /// Vector-store candidate budget per lookup (Annoy's `search_k`).
+    pub search_k: usize,
+}
+
+impl MethodConfig {
+    /// Zero-shot CLIP.
+    pub fn zero_shot() -> Self {
+        Self { method: Method::ZeroShot, search_k: 8192 }
+    }
+
+    /// A fixed caller-supplied query vector.
+    pub fn fixed(v: Vec<f32>) -> Self {
+        Self { method: Method::FixedVector(v), search_k: 8192 }
+    }
+
+    /// Few-shot CLIP (Eq. 1).
+    pub fn few_shot() -> Self {
+        Self { method: Method::FewShot, search_k: 8192 }
+    }
+
+    /// Rocchio with the paper's β = .5, γ = .25.
+    pub fn rocchio() -> Self {
+        Self {
+            method: Method::Rocchio(RocchioConfig::default()),
+            search_k: 8192,
+        }
+    }
+
+    /// ENS with the paper's settings (k = 20 graph built at preprocess,
+    /// horizon 60, CLIP priors).
+    pub fn ens(horizon: usize) -> Self {
+        Self {
+            method: Method::Ens {
+                horizon,
+                priors: None,
+                sigma: SigmaRule::SelfTuning(1.0),
+            },
+            search_k: 8192,
+        }
+    }
+
+    /// ENS with externally calibrated priors (Table 4, bottom row).
+    pub fn ens_calibrated(horizon: usize, priors: Vec<f32>) -> Self {
+        Self {
+            method: Method::Ens {
+                horizon,
+                priors: Some(priors),
+                sigma: SigmaRule::SelfTuning(1.0),
+            },
+            search_k: 8192,
+        }
+    }
+
+    /// Full SeeSaw (CLIP + DB alignment, paper hyperparameters).
+    pub fn seesaw() -> Self {
+        Self {
+            method: Method::SeeSaw(AlignerConfig::default()),
+            search_k: 8192,
+        }
+    }
+
+    /// SeeSaw with CLIP alignment only (the Table 2 "+Query align" row).
+    pub fn seesaw_clip_only() -> Self {
+        Self {
+            method: Method::SeeSaw(AlignerConfig::clip_only()),
+            search_k: 8192,
+        }
+    }
+
+    /// The few-shot baseline expressed through the aligner loss (used in
+    /// the ablation, mathematically Eq. 1 without bias).
+    pub fn seesaw_few_shot() -> Self {
+        Self {
+            method: Method::SeeSaw(AlignerConfig::few_shot()),
+            search_k: 8192,
+        }
+    }
+
+    /// SeeSaw with blind (pseudo-relevance) bootstrapping — no user
+    /// input needed for the first alignment (future-work §7 direction).
+    pub fn seesaw_blind() -> Self {
+        Self {
+            method: Method::SeeSawBlind {
+                aligner: AlignerConfig::default(),
+                assume_top: 8,
+                pseudo_weight: 0.15,
+            },
+            search_k: 8192,
+        }
+    }
+
+    /// The propagation-based variant (Table 6 `prop.` column).
+    pub fn seesaw_prop() -> Self {
+        Self {
+            method: Method::SeeSawProp {
+                aligner: AlignerConfig::clip_only(),
+                prop: LabelPropConfig::default(),
+                fit_sample: 2000,
+            },
+            search_k: 8192,
+        }
+    }
+
+    /// Override the lookup budget (builder style).
+    pub fn with_search_k(mut self, search_k: usize) -> Self {
+        self.search_k = search_k;
+        self
+    }
+}
+
+enum State {
+    Fixed,
+    Rocchio(Rocchio),
+    Ens(Box<EnsSearcher>),
+    Aligner(QueryAligner),
+    Prop {
+        aligner: AlignerConfig,
+        prop: LabelPropConfig,
+        fit_sample: usize,
+        round: u64,
+    },
+}
+
+/// One running query against one index.
+pub struct Session<'a> {
+    index: &'a DatasetIndex,
+    concept: ConceptId,
+    q0: Vec<f32>,
+    query: Vec<f32>,
+    seen: Vec<bool>,
+    n_seen: usize,
+    pending: Vec<ImageId>,
+    state: State,
+    /// Labeled patch examples shared by the aligner-family methods.
+    example_patches: Vec<u32>,
+    example_labels: Vec<bool>,
+    /// Per-example weights: each image contributes one unit of positive
+    /// and one unit of negative evidence regardless of its patch count,
+    /// so coarse and multiscale indexes balance the loss identically.
+    example_weights: Vec<f32>,
+    any_positive: bool,
+    search_k: usize,
+}
+
+impl<'a> Session<'a> {
+    /// Start a search for `concept` using the dataset's text tower for
+    /// `q₀` (Listing 1, line 2).
+    pub fn start(
+        index: &'a DatasetIndex,
+        dataset: &'a SyntheticDataset,
+        concept: ConceptId,
+        config: MethodConfig,
+    ) -> Self {
+        let q0 = dataset.model.embed_text(concept);
+        Self::start_with_q0(index, concept, q0, config)
+    }
+
+    /// Start with an explicit initial query vector.
+    pub fn start_with_q0(
+        index: &'a DatasetIndex,
+        concept: ConceptId,
+        q0: Vec<f32>,
+        config: MethodConfig,
+    ) -> Self {
+        let q0 = normalized(&q0);
+        let mut pseudo_patches: Vec<u32> = Vec::new();
+        let mut pseudo_w = 0.0f32;
+        let (state, query) = match config.method {
+            Method::ZeroShot => (State::Fixed, q0.clone()),
+            Method::FixedVector(v) => {
+                assert_eq!(v.len(), index.dim, "fixed vector dimension mismatch");
+                let v = normalized(&v);
+                (State::Fixed, v)
+            }
+            Method::FewShot => (
+                State::Aligner(QueryAligner::new(&q0, AlignerConfig::few_shot())),
+                q0.clone(),
+            ),
+            Method::Rocchio(cfg) => (State::Rocchio(Rocchio::new(&q0, cfg)), q0.clone()),
+            Method::Ens { horizon, priors, sigma } => {
+                let graph = index
+                    .coarse_graph
+                    .as_ref()
+                    .expect("ENS requires build_coarse_graph at preprocessing");
+                let priors = priors.unwrap_or_else(|| {
+                    // Raw CLIP prior (§5.4): the cosine score used
+                    // directly as γ_i, clamped into (0, 1) — like real
+                    // CLIP scores, deliberately *uncalibrated* when
+                    // interpreted as probabilities.
+                    (0..index.n_images() as u32)
+                        .map(|img| {
+                            seesaw_linalg::dot(&q0, index.coarse_vector(img)).clamp(0.001, 0.999)
+                        })
+                        .collect()
+                });
+                let searcher = EnsSearcher::new(
+                    graph,
+                    sigma,
+                    priors,
+                    &EnsConfig {
+                        prior_weight: 1.0,
+                        horizon,
+                    },
+                );
+                (State::Ens(Box::new(searcher)), q0.clone())
+            }
+            Method::SeeSaw(cfg) => {
+                let mut aligner = QueryAligner::new(&q0, cfg);
+                if aligner.config().lambda_d > 0.0 {
+                    if let Some(md) = &index.m_d {
+                        aligner = aligner.with_db_matrix(md.clone());
+                    }
+                }
+                (State::Aligner(aligner), q0.clone())
+            }
+            Method::SeeSawBlind { aligner, assume_top, pseudo_weight } => {
+                let mut a = QueryAligner::new(&q0, aligner);
+                if a.config().lambda_d > 0.0 {
+                    if let Some(md) = &index.m_d {
+                        a = a.with_db_matrix(md.clone());
+                    }
+                }
+                // Pseudo-positives: top initial hits, weakly weighted.
+                let hits =
+                    index
+                        .store
+                        .top_k_with_search_k(&q0, assume_top, config.search_k, &|_| true);
+                pseudo_patches = hits.iter().map(|h| h.id).collect();
+                pseudo_w = pseudo_weight.max(0.0);
+                (State::Aligner(a), q0.clone())
+            }
+            Method::SeeSawProp { aligner, prop, fit_sample } => (
+                State::Prop {
+                    aligner,
+                    prop,
+                    fit_sample,
+                    round: 0,
+                },
+                q0.clone(),
+            ),
+        };
+        let mut session = Self {
+            index,
+            concept,
+            q0,
+            query,
+            seen: vec![false; index.n_images()],
+            n_seen: 0,
+            pending: Vec::new(),
+            state,
+            example_patches: Vec::new(),
+            example_labels: Vec::new(),
+            example_weights: Vec::new(),
+            any_positive: false,
+            search_k: config.search_k,
+        };
+        if !pseudo_patches.is_empty() && pseudo_w > 0.0 {
+            for p in pseudo_patches {
+                session.example_patches.push(p);
+                session.example_labels.push(true);
+                session.example_weights.push(pseudo_w);
+            }
+            session.realign();
+        }
+        session
+    }
+
+    /// Re-solve the aligner on the current example set (aligner-family
+    /// methods only; a no-op otherwise).
+    fn realign(&mut self) {
+        if let State::Aligner(aligner) = &self.state {
+            let examples: Vec<&[f32]> = self
+                .example_patches
+                .iter()
+                .map(|&p| self.index.patch_vector(p))
+                .collect();
+            self.query = aligner.align_weighted(
+                &examples,
+                &self.example_labels,
+                Some(&self.example_weights),
+            );
+        }
+    }
+
+    /// The searched concept.
+    pub fn concept(&self) -> ConceptId {
+        self.concept
+    }
+
+    /// The original text query vector.
+    pub fn q0(&self) -> &[f32] {
+        &self.q0
+    }
+
+    /// The current (aligned) query vector.
+    pub fn current_query(&self) -> &[f32] {
+        &self.query
+    }
+
+    /// Images shown so far.
+    pub fn n_seen(&self) -> usize {
+        self.n_seen
+    }
+
+    /// Next batch of up to `n` unseen images (Listing 1, line 4). Fewer
+    /// are returned when the database is nearly exhausted.
+    pub fn next_batch(&mut self, n: usize) -> Vec<ImageId> {
+        let mut out: Vec<ImageId> = Vec::with_capacity(n);
+        match &mut self.state {
+            State::Ens(searcher) if self.any_positive => {
+                let seen = &self.seen;
+                for _ in 0..n {
+                    let picked: &[ImageId] = &out;
+                    let pick = searcher
+                        .select_next_excluding(|i| picked.contains(&i) || seen[i as usize]);
+                    match pick {
+                        Some(i) => out.push(i),
+                        None => break,
+                    }
+                }
+            }
+            _ => {
+                // Vector-store lookup, deduplicating patches to images
+                // (multiscale: an image's score is its best patch, and
+                // the store returns patches in descending score order).
+                let per_image = (self.index.n_patches() / self.index.n_images().max(1)).max(1);
+                let mut k = (n + 4) * per_image + 16;
+                loop {
+                    let seen = &self.seen;
+                    let patches = &self.index.patches;
+                    let hits = self.index.store.top_k_with_search_k(
+                        &self.query,
+                        k,
+                        self.search_k.max(2 * k),
+                        &|p| {
+                            let img = patches[p as usize].image;
+                            !seen[img as usize]
+                        },
+                    );
+                    out.clear();
+                    for h in &hits {
+                        let img = patches[h.id as usize].image;
+                        if !out.contains(&img) {
+                            out.push(img);
+                            if out.len() == n {
+                                break;
+                            }
+                        }
+                    }
+                    if out.len() == n || k >= self.index.n_patches() {
+                        break;
+                    }
+                    k = (k * 2).min(self.index.n_patches());
+                }
+            }
+        }
+        for &img in &out {
+            self.seen[img as usize] = true;
+            self.n_seen += 1;
+        }
+        self.pending.extend_from_slice(&out);
+        out
+    }
+
+    /// Record feedback for a previously returned image and realign the
+    /// query (Listing 1, lines 6–7).
+    ///
+    /// # Panics
+    /// Panics when the image was not handed out by [`Self::next_batch`].
+    pub fn feedback(&mut self, fb: Feedback) {
+        let pos = self
+            .pending
+            .iter()
+            .position(|&i| i == fb.image)
+            .expect("feedback for an image that was not shown");
+        self.pending.swap_remove(pos);
+        if fb.relevant {
+            self.any_positive = true;
+        }
+
+        // Patch-level labels (§4.3): with multiscale, a patch is positive
+        // iff it overlaps a feedback box; coarse-only labels the single
+        // patch with the image relevance.
+        let range = self.index.patches_of(fb.image);
+        let mut labels = Vec::with_capacity(range.len());
+        for p in range.clone() {
+            let meta = &self.index.patches[p as usize];
+            let label = if self.index.multiscale {
+                fb.boxes.iter().any(|b| meta.bbox.overlaps(b))
+            } else {
+                fb.relevant
+            };
+            labels.push(label);
+        }
+        let n_pos = labels.iter().filter(|&&l| l).count().max(1) as f32;
+        let n_neg = labels.iter().filter(|&&l| !l).count().max(1) as f32;
+        for (p, label) in range.zip(labels) {
+            self.example_patches.push(p);
+            self.example_labels.push(label);
+            self.example_weights
+                .push(if label { 1.0 / n_pos } else { 1.0 / n_neg });
+        }
+
+        match &mut self.state {
+            State::Fixed => {}
+            State::Rocchio(rocchio) => {
+                rocchio.add_feedback(self.index.coarse_vector(fb.image), fb.relevant);
+                self.query = rocchio.query();
+            }
+            State::Ens(searcher) => {
+                searcher.observe(fb.image, fb.relevant);
+            }
+            State::Aligner(aligner) => {
+                // Unanchored fits (λc = 0, i.e. pure few-shot) are only
+                // meaningful once a positive example exists; refitting
+                // on negatives alone sends the query on a random walk.
+                // Anchored variants (CLIP alignment) can use negative
+                // feedback immediately — the q₀ term keeps them stable.
+                if self.any_positive || aligner.config().lambda_c > 0.0 {
+                    let examples: Vec<&[f32]> = self
+                        .example_patches
+                        .iter()
+                        .map(|&p| self.index.patch_vector(p))
+                        .collect();
+                    self.query = aligner.align_weighted(
+                        &examples,
+                        &self.example_labels,
+                        Some(&self.example_weights),
+                    );
+                }
+            }
+            State::Prop { aligner, prop, fit_sample, round } => {
+                *round += 1;
+                self.query = prop_align(
+                    self.index,
+                    &self.q0,
+                    &self.example_patches,
+                    &self.example_labels,
+                    aligner,
+                    prop,
+                    *fit_sample,
+                    *round,
+                );
+            }
+        }
+    }
+}
+
+/// The propagation-based `query_align`: run label propagation over the
+/// full patch graph (the expensive part: O(iterations × edges) per
+/// round), then fit the aligner on a pseudo-labeled sample.
+#[allow(clippy::too_many_arguments)]
+fn prop_align(
+    index: &DatasetIndex,
+    q0: &[f32],
+    example_patches: &[u32],
+    example_labels: &[bool],
+    aligner_cfg: &AlignerConfig,
+    prop_cfg: &LabelPropConfig,
+    fit_sample: usize,
+    round: u64,
+) -> Vec<f32> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let Some(adjacency) = &index.patch_adjacency else {
+        // No propagation structure: degrade to plain aligner behaviour.
+        let aligner = QueryAligner::new(q0, aligner_cfg.clone());
+        let examples: Vec<&[f32]> = example_patches
+            .iter()
+            .map(|&p| index.patch_vector(p))
+            .collect();
+        return aligner.align(&examples, example_labels);
+    };
+
+    let labeled: Vec<(u32, f32)> = example_patches
+        .iter()
+        .zip(example_labels.iter())
+        .map(|(&p, &y)| (p, y as u8 as f32))
+        .collect();
+    let yhat = propagate_labels(adjacency, &labeled, prop_cfg);
+
+    // Pseudo-labeled fit set: the true labels, the strongest propagated
+    // positives, and a random background sample as negatives.
+    let mut is_labeled = vec![false; index.n_patches()];
+    for &(p, _) in &labeled {
+        is_labeled[p as usize] = true;
+    }
+    let max_unlabeled = yhat
+        .iter()
+        .enumerate()
+        .filter(|(p, _)| !is_labeled[*p])
+        .map(|(_, &v)| v)
+        .fold(0.0f32, f32::max);
+    let threshold = 0.5 * max_unlabeled;
+
+    let mut ranked: Vec<(u32, f32)> = yhat
+        .iter()
+        .enumerate()
+        .filter(|(p, &v)| !is_labeled[*p] && max_unlabeled > 0.0 && v >= threshold)
+        .map(|(p, &v)| (p as u32, v))
+        .collect();
+    ranked.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    ranked.truncate(fit_sample / 2);
+
+    let mut rng = StdRng::seed_from_u64(0x9e0b ^ round);
+    let mut sample_patches: Vec<u32> = example_patches.to_vec();
+    let mut sample_labels: Vec<bool> = example_labels.to_vec();
+    for (p, _) in &ranked {
+        sample_patches.push(*p);
+        sample_labels.push(true);
+    }
+    let n_background = (fit_sample / 2).min(index.n_patches());
+    for _ in 0..n_background {
+        let p = rng.gen_range(0..index.n_patches()) as u32;
+        if !is_labeled[p as usize] {
+            sample_patches.push(p);
+            sample_labels.push(yhat[p as usize] >= threshold && max_unlabeled > 0.0);
+        }
+    }
+
+    let examples: Vec<&[f32]> = sample_patches
+        .iter()
+        .map(|&p| index.patch_vector(p))
+        .collect();
+    QueryAligner::new(q0, aligner_cfg.clone()).align(&examples, &sample_labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preprocess::{PreprocessConfig, Preprocessor};
+    use crate::user::SimulatedUser;
+    use seesaw_dataset::DatasetSpec;
+
+    fn setup() -> (SyntheticDataset, DatasetIndex) {
+        let ds = DatasetSpec::coco_like(0.001).with_max_queries(10).generate(21);
+        let idx = Preprocessor::new(PreprocessConfig::fast()).build(&ds);
+        (ds, idx)
+    }
+
+    #[test]
+    fn batches_never_repeat_images() {
+        let (ds, idx) = setup();
+        let concept = ds.queries()[0].concept;
+        for cfg in [
+            MethodConfig::zero_shot(),
+            MethodConfig::seesaw(),
+            MethodConfig::rocchio(),
+            MethodConfig::few_shot(),
+            MethodConfig::ens(30),
+        ] {
+            let mut session = Session::start(&idx, &ds, concept, cfg);
+            let user = SimulatedUser::new(&ds);
+            let mut all: Vec<ImageId> = Vec::new();
+            for _ in 0..10 {
+                let batch = session.next_batch(2);
+                for img in batch {
+                    assert!(!all.contains(&img), "image {img} repeated");
+                    all.push(img);
+                    session.feedback(user.annotate(img, concept));
+                }
+            }
+            assert_eq!(all.len(), 20);
+        }
+    }
+
+    #[test]
+    fn zero_shot_query_never_changes() {
+        let (ds, idx) = setup();
+        let concept = ds.queries()[0].concept;
+        let mut s = Session::start(&idx, &ds, concept, MethodConfig::zero_shot());
+        let q_before = s.current_query().to_vec();
+        let user = SimulatedUser::new(&ds);
+        for _ in 0..5 {
+            let batch = s.next_batch(1);
+            for img in batch {
+                s.feedback(user.annotate(img, concept));
+            }
+        }
+        assert_eq!(s.current_query(), q_before.as_slice());
+    }
+
+    #[test]
+    fn seesaw_query_moves_after_feedback() {
+        let (ds, idx) = setup();
+        let concept = ds.queries()[0].concept;
+        let mut s = Session::start(&idx, &ds, concept, MethodConfig::seesaw());
+        let q_before = s.current_query().to_vec();
+        let user = SimulatedUser::new(&ds);
+        let batch = s.next_batch(3);
+        for img in batch {
+            s.feedback(user.annotate(img, concept));
+        }
+        let moved = seesaw_linalg::dot(&q_before, s.current_query());
+        assert!(moved < 0.99999, "query should move, cosine {moved}");
+        assert!((seesaw_linalg::l2_norm(s.current_query()) - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn fixed_vector_method_uses_it() {
+        let (ds, idx) = setup();
+        let concept = ds.queries()[0].concept;
+        let v = ds.model.concept_direction(concept).to_vec();
+        let s = Session::start(&idx, &ds, concept, MethodConfig::fixed(v.clone()));
+        let cos = seesaw_linalg::cosine(s.current_query(), &v);
+        assert!(cos > 0.9999);
+    }
+
+    #[test]
+    fn ens_uses_zero_shot_until_first_positive() {
+        let (ds, idx) = setup();
+        let concept = ds.queries()[0].concept;
+        let mut ens = Session::start(&idx, &ds, concept, MethodConfig::ens(60));
+        let mut zs = Session::start(&idx, &ds, concept, MethodConfig::zero_shot());
+        let user = SimulatedUser::new(&ds);
+        // Until the first positive, both produce the same ranking.
+        for _ in 0..20 {
+            let a = ens.next_batch(1);
+            let b = zs.next_batch(1);
+            assert_eq!(a, b, "warm-up must follow zero-shot");
+            let fb = user.annotate(a[0], concept);
+            let relevant = fb.relevant;
+            ens.feedback(fb.clone());
+            zs.feedback(fb);
+            if relevant {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not shown")]
+    fn feedback_for_unshown_image_panics() {
+        let (ds, idx) = setup();
+        let concept = ds.queries()[0].concept;
+        let mut s = Session::start(&idx, &ds, concept, MethodConfig::zero_shot());
+        s.feedback(Feedback {
+            image: 0,
+            relevant: false,
+            boxes: vec![],
+        });
+    }
+
+    #[test]
+    fn exhausting_the_database_returns_short_batches() {
+        let ds = DatasetSpec::coco_like(0.0).with_max_queries(5).generate(5); // 60 images
+        let idx = Preprocessor::new(PreprocessConfig::fast()).build(&ds);
+        let concept = ds.queries()[0].concept;
+        let mut s = Session::start(&idx, &ds, concept, MethodConfig::zero_shot());
+        let got = s.next_batch(100);
+        assert_eq!(got.len(), 60);
+        assert!(s.next_batch(5).is_empty());
+    }
+
+    #[test]
+    fn blind_bootstrap_moves_query_before_any_feedback() {
+        let (ds, idx) = setup();
+        let concept = ds.queries()[0].concept;
+        let blind = Session::start(&idx, &ds, concept, MethodConfig::seesaw_blind());
+        // The pseudo-positives already moved the query off q0…
+        let drift = seesaw_linalg::cosine(blind.q0(), blind.current_query());
+        assert!(drift < 0.99999, "blind bootstrap had no effect: {drift}");
+        assert!((seesaw_linalg::l2_norm(blind.current_query()) - 1.0).abs() < 1e-3);
+        // …but only mildly: the CLIP anchor holds.
+        assert!(drift > 0.5, "blind bootstrap overpowered the anchor: {drift}");
+    }
+
+    #[test]
+    fn blind_method_accepts_user_feedback_too() {
+        let (ds, idx) = setup();
+        let concept = ds.queries()[0].concept;
+        let mut s = Session::start(&idx, &ds, concept, MethodConfig::seesaw_blind());
+        let user = SimulatedUser::new(&ds);
+        for _ in 0..4 {
+            let batch = s.next_batch(1);
+            for img in batch {
+                s.feedback(user.annotate(img, concept));
+            }
+        }
+        assert_eq!(s.n_seen(), 4);
+        assert!((seesaw_linalg::l2_norm(s.current_query()) - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn prop_variant_produces_unit_queries() {
+        let (ds, idx) = setup();
+        let concept = ds.queries()[0].concept;
+        let mut s = Session::start(&idx, &ds, concept, MethodConfig::seesaw_prop());
+        let user = SimulatedUser::new(&ds);
+        for _ in 0..3 {
+            let batch = s.next_batch(1);
+            for img in batch {
+                s.feedback(user.annotate(img, concept));
+            }
+        }
+        assert!((seesaw_linalg::l2_norm(s.current_query()) - 1.0).abs() < 1e-3);
+    }
+}

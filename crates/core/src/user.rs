@@ -1,0 +1,68 @@
+//! The simulated user of the §5.1 benchmark: "the benchmark code uses
+//! the dataset ground truth to determine when the image is relevant,
+//! and then provides box labels from the dataset as region based
+//! feedback around the relevant image area."
+
+use seesaw_dataset::{BBox, ImageId, SyntheticDataset};
+use seesaw_embed::ConceptId;
+
+/// One round of user feedback on a shown image.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Feedback {
+    /// The annotated image.
+    pub image: ImageId,
+    /// Whether the image contains the searched concept.
+    pub relevant: bool,
+    /// Boxes around the relevant regions (empty when not relevant).
+    pub boxes: Vec<BBox>,
+}
+
+/// Ground-truth-driven feedback provider.
+#[derive(Clone, Copy, Debug)]
+pub struct SimulatedUser<'a> {
+    dataset: &'a SyntheticDataset,
+}
+
+impl<'a> SimulatedUser<'a> {
+    /// Create a user backed by the dataset's ground truth.
+    pub fn new(dataset: &'a SyntheticDataset) -> Self {
+        Self { dataset }
+    }
+
+    /// Annotate `image` for `concept`: relevance plus ground-truth boxes.
+    pub fn annotate(&self, image: ImageId, concept: ConceptId) -> Feedback {
+        let meta = self.dataset.image(image);
+        let boxes = meta.boxes_of(concept);
+        Feedback {
+            image,
+            relevant: !boxes.is_empty(),
+            boxes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seesaw_dataset::DatasetSpec;
+
+    #[test]
+    fn feedback_matches_ground_truth() {
+        let ds = DatasetSpec::coco_like(0.001).generate(5);
+        let user = SimulatedUser::new(&ds);
+        let q = ds.queries()[0];
+        let relevant = ds.truth.relevant_images(q.concept);
+        assert!(!relevant.is_empty());
+        let fb = user.annotate(relevant[0], q.concept);
+        assert!(fb.relevant);
+        assert!(!fb.boxes.is_empty());
+
+        // Find a non-relevant image.
+        let miss = (0..ds.n_images() as u32)
+            .find(|i| !ds.truth.is_relevant(q.concept, *i))
+            .expect("some image lacks the concept");
+        let fb = user.annotate(miss, q.concept);
+        assert!(!fb.relevant);
+        assert!(fb.boxes.is_empty());
+    }
+}

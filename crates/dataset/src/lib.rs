@@ -1,0 +1,31 @@
+//! Synthetic labeled image datasets — substitutes for COCO, LVIS,
+//! ObjectNet, and BDD (paper §5.1).
+//!
+//! The paper adapts four object-detection datasets so that (a) category
+//! labels become search queries, (b) ground-truth boxes simulate region
+//! feedback, and (c) the label sets define Average Precision. This crate
+//! generates datasets with the same *shape*:
+//!
+//! * an image is a layout of objects (category, locality mode, bounding
+//!   box) over a background context — pixels never matter, because the
+//!   embedding model (crate `seesaw-embed`) consumes layouts directly;
+//! * each preset matches its namesake's signature: category count,
+//!   image geometry, objects-per-image, category rarity (Zipf tail), and
+//!   the fraction of queries that are *hard* for zero-shot search
+//!   (Fig. 1 annotations: COCO .06, BDD .25, ObjectNet .33, LVIS .38);
+//! * generation is deterministic given the seed.
+
+pub mod geometry;
+#[cfg(test)]
+mod proptests;
+pub mod scene;
+pub mod spec;
+pub mod truth;
+
+pub use geometry::BBox;
+pub use scene::{Annotation, ImageMeta};
+pub use spec::{DatasetSpec, DeficitMix, LocalityMix, SyntheticDataset};
+pub use truth::{GroundTruth, Query};
+
+/// Identifier of an image within a dataset.
+pub type ImageId = u32;

@@ -1,0 +1,56 @@
+//! Property-based tests for dataset generation invariants.
+
+#![cfg(test)]
+
+use crate::{DatasetSpec, GroundTruth};
+use proptest::prelude::*;
+
+proptest! {
+    // Dataset generation is comparatively heavy; keep cases modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn generation_invariants_hold_for_any_seed(seed in 0u64..10_000) {
+        let ds = DatasetSpec::coco_like(0.001).with_max_queries(10).generate(seed);
+        // Ids are dense and ordered.
+        for (i, img) in ds.images.iter().enumerate() {
+            prop_assert_eq!(img.id as usize, i);
+            for o in &img.objects {
+                prop_assert!((o.concept as usize) < ds.model.n_concepts());
+                prop_assert!(o.mode < ds.model.n_modes(o.concept));
+                prop_assert!(o.bbox.area() > 0.0);
+                prop_assert!(o.bbox.x >= 0.0 && o.bbox.y >= 0.0);
+                prop_assert!(o.bbox.x + o.bbox.w <= img.width as f32 + 0.5);
+                prop_assert!(o.bbox.y + o.bbox.h <= img.height as f32 + 0.5);
+            }
+        }
+        // Ground truth is consistent with the images.
+        for q in ds.queries() {
+            let rel = ds.truth.relevant_images(q.concept);
+            prop_assert_eq!(rel.len(), q.n_relevant);
+            for &img in rel {
+                prop_assert!(ds.image(img).contains_concept(q.concept));
+            }
+        }
+    }
+
+    #[test]
+    fn instance_ids_are_unique_within_a_dataset(seed in 0u64..1000) {
+        let ds = DatasetSpec::lvis_like(0.0005).generate(seed);
+        let mut seen = std::collections::HashSet::new();
+        for img in &ds.images {
+            for o in &img.objects {
+                prop_assert!(seen.insert(o.instance), "instance {} duplicated", o.instance);
+            }
+        }
+    }
+
+    #[test]
+    fn truth_rebuild_matches_stored_truth(seed in 0u64..1000) {
+        let ds = DatasetSpec::bdd_like(0.0005).generate(seed);
+        let rebuilt = GroundTruth::build(&ds.images, ds.model.n_concepts());
+        for c in 0..ds.model.n_concepts() as u32 {
+            prop_assert_eq!(ds.truth.relevant_images(c), rebuilt.relevant_images(c));
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Per-concept relevance ground truth and benchmark-query selection.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use seesaw_embed::ConceptId;
+
+use crate::scene::ImageMeta;
+use crate::ImageId;
+
+/// One benchmark query: a concept plus its relevant-image count (needed
+/// by the AP protocol, which truncates `R` at 10).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Query {
+    /// The searched concept.
+    pub concept: ConceptId,
+    /// How many images in the dataset contain the concept.
+    pub n_relevant: usize,
+}
+
+/// For every concept, the sorted list of images containing it.
+#[derive(Clone, Debug, Default)]
+pub struct GroundTruth {
+    per_concept: Vec<Vec<ImageId>>,
+}
+
+impl GroundTruth {
+    /// Scan images and build the inverted relevance lists.
+    pub fn build(images: &[ImageMeta], n_concepts: usize) -> Self {
+        let mut per_concept = vec![Vec::new(); n_concepts];
+        for img in images {
+            let mut seen: Vec<ConceptId> = img.objects.iter().map(|o| o.concept).collect();
+            seen.sort_unstable();
+            seen.dedup();
+            for c in seen {
+                if (c as usize) < n_concepts {
+                    per_concept[c as usize].push(img.id);
+                }
+            }
+        }
+        Self { per_concept }
+    }
+
+    /// Number of concepts tracked.
+    pub fn n_concepts(&self) -> usize {
+        self.per_concept.len()
+    }
+
+    /// Sorted ids of images containing `concept`.
+    pub fn relevant_images(&self, concept: ConceptId) -> &[ImageId] {
+        &self.per_concept[concept as usize]
+    }
+
+    /// Whether `image` contains `concept`.
+    pub fn is_relevant(&self, concept: ConceptId, image: ImageId) -> bool {
+        self.per_concept[concept as usize].binary_search(&image).is_ok()
+    }
+
+    /// Pick benchmark queries: all concepts with at least `min_instances`
+    /// relevant images, down-sampled deterministically to `max_queries`
+    /// (0 disables the cap).
+    pub fn select_queries(
+        &self,
+        min_instances: usize,
+        max_queries: usize,
+        seed: u64,
+    ) -> Vec<Query> {
+        let mut queries: Vec<Query> = self
+            .per_concept
+            .iter()
+            .enumerate()
+            .filter(|(_, imgs)| imgs.len() >= min_instances.max(1))
+            .map(|(c, imgs)| Query {
+                concept: c as ConceptId,
+                n_relevant: imgs.len(),
+            })
+            .collect();
+        if max_queries > 0 && queries.len() > max_queries {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+            queries.shuffle(&mut rng);
+            queries.truncate(max_queries);
+            queries.sort_unstable_by_key(|q| q.concept);
+        }
+        queries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::BBox;
+    use crate::scene::Annotation;
+
+    fn img(id: ImageId, concepts: &[ConceptId]) -> ImageMeta {
+        ImageMeta {
+            id,
+            width: 100,
+            height: 100,
+            context: 0,
+            objects: concepts
+                .iter()
+                .map(|&c| Annotation {
+                    concept: c,
+                    mode: 0,
+                    instance: 0,
+                    bbox: BBox::new(0.0, 0.0, 10.0, 10.0),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn builds_inverted_lists() {
+        let images = vec![img(0, &[1, 2]), img(1, &[2]), img(2, &[])];
+        let gt = GroundTruth::build(&images, 3);
+        assert_eq!(gt.relevant_images(0), &[] as &[ImageId]);
+        assert_eq!(gt.relevant_images(1), &[0]);
+        assert_eq!(gt.relevant_images(2), &[0, 1]);
+        assert!(gt.is_relevant(2, 1));
+        assert!(!gt.is_relevant(1, 1));
+    }
+
+    #[test]
+    fn duplicate_instances_count_once() {
+        let images = vec![img(0, &[1, 1, 1])];
+        let gt = GroundTruth::build(&images, 2);
+        assert_eq!(gt.relevant_images(1), &[0]);
+    }
+
+    #[test]
+    fn query_selection_respects_minimum() {
+        let images = vec![img(0, &[0, 1]), img(1, &[0]), img(2, &[0])];
+        let gt = GroundTruth::build(&images, 2);
+        let qs = gt.select_queries(2, 0, 7);
+        assert_eq!(qs.len(), 1);
+        assert_eq!(qs[0].concept, 0);
+        assert_eq!(qs[0].n_relevant, 3);
+    }
+
+    #[test]
+    fn query_cap_is_deterministic() {
+        let images: Vec<ImageMeta> = (0..40).map(|i| img(i, &[i % 10])).collect();
+        let gt = GroundTruth::build(&images, 10);
+        let a = gt.select_queries(1, 4, 99);
+        let b = gt.select_queries(1, 4, 99);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+        let c = gt.select_queries(1, 4, 100);
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn zero_cap_means_unlimited() {
+        let images: Vec<ImageMeta> = (0..10).map(|i| img(i, &[i % 5])).collect();
+        let gt = GroundTruth::build(&images, 5);
+        assert_eq!(gt.select_queries(1, 0, 1).len(), 5);
+    }
+}

@@ -1,0 +1,39 @@
+//! A synthetic visual-semantic embedding model — the CLIP substitute.
+//!
+//! The real SeeSaw uses CLIP (§2.1) to map text and image patches onto a
+//! shared 512-d unit sphere. SeeSaw's algorithms consume nothing but that
+//! geometry: unit vectors, inner products, and the two failure modes the
+//! paper diagrams in Figure 2 —
+//!
+//! * **alignment deficit** (Fig. 2a): the text embedding of a concept
+//!   points away from the cluster of its image embeddings;
+//! * **locality deficit** (Fig. 2b): the image embeddings of a concept
+//!   are not tightly clustered.
+//!
+//! This crate implements a generative model with both failure modes as
+//! explicit, per-concept parameters:
+//!
+//! * every concept has a latent unit direction; concepts with locality
+//!   deficits get several *modes* spread around that direction;
+//! * an image patch embeds to the normalized, salience-weighted mixture
+//!   of the directions of the objects it contains, plus a background
+//!   *context* direction and isotropic noise;
+//! * the text embedding of a concept is its latent direction rotated by
+//!   the concept's *deficit angle* toward a specific **confuser**
+//!   concept, so a poorly aligned query really does retrieve images of
+//!   something else — exactly the "wheelchair query needs >100 images"
+//!   behaviour the paper reports on BDD.
+//!
+//! Everything is deterministic given the seed, so datasets, indexes and
+//! experiments are reproducible.
+
+pub mod content;
+pub mod model;
+#[cfg(test)]
+mod proptests;
+
+pub use content::{ObjectPresence, PatchContent};
+pub use model::{ConceptSpec, EmbedConfig, EmbeddingModel};
+
+/// Identifier of a concept (a searchable category) in the vocabulary.
+pub type ConceptId = u32;

@@ -1,0 +1,87 @@
+//! Property-based tests for the synthetic embedding model.
+
+#![cfg(test)]
+
+use crate::{ConceptSpec, EmbedConfig, EmbeddingModel, ObjectPresence, PatchContent};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use seesaw_linalg::{cosine, l2_norm};
+
+fn model(n_concepts: usize, jitter: f32, seed: u64) -> EmbeddingModel {
+    EmbeddingModel::build(&EmbedConfig {
+        dim: 48,
+        concepts: vec![
+            ConceptSpec { deficit_angle: 0.4, modes: 2, mode_spread: 0.5 };
+            n_concepts
+        ],
+        contexts: 3,
+        noise_sigma: 0.1,
+        instance_jitter: jitter,
+        clutter_strength: 0.8,
+        salience: 0.5,
+        seed,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn patch_embeddings_are_always_unit(
+        n_objects in 0usize..5,
+        context in 0u32..3,
+        clutter in 0.0f32..1.0,
+        seed in 0u64..500,
+    ) {
+        let m = model(6, 0.3, 11);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let content = PatchContent {
+            objects: (0..n_objects)
+                .map(|i| ObjectPresence {
+                    concept: (i % 6) as u32,
+                    mode: (i % 2) as u32,
+                    instance: i as u32,
+                    share: 1.0 / (n_objects.max(1) as f32),
+                })
+                .collect(),
+            context,
+            clutter,
+        };
+        let v = m.embed_patch(&content, &mut rng);
+        prop_assert!((l2_norm(&v) - 1.0).abs() < 1e-3);
+        prop_assert!(v.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn text_embeddings_are_unit_and_deterministic(c in 0u32..6, seed in 0u64..100) {
+        let m = model(6, 0.3, seed);
+        let a = m.embed_text(c);
+        let b = m.embed_text(c);
+        prop_assert_eq!(a.clone(), b);
+        prop_assert!((l2_norm(&a) - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn instance_jitter_angle_is_exact(
+        c in 0u32..6,
+        inst in 0u32..50,
+        jitter in 0.05f32..1.0,
+    ) {
+        let m = model(6, jitter, 17);
+        let dir = m.instance_direction(c, 0, inst);
+        let base = m.mode_direction(c, 0);
+        let angle = seesaw_linalg::dot(&dir, base).clamp(-1.0, 1.0).acos();
+        prop_assert!((angle - jitter).abs() < 0.02, "asked {jitter} got {angle}");
+    }
+
+    #[test]
+    fn instances_are_deterministic_and_distinct(c in 0u32..6) {
+        let m = model(6, 0.45, 23);
+        let a = m.instance_direction(c, 0, 1);
+        let b = m.instance_direction(c, 0, 1);
+        prop_assert_eq!(a.clone(), b);
+        let other = m.instance_direction(c, 0, 2);
+        prop_assert!(cosine(&a, &other) < 0.9999, "instances must differ");
+    }
+}

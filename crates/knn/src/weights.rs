@@ -1,0 +1,201 @@
+//! Gaussian edge weights, the symmetrized adjacency, and the graph
+//! Laplacian `D − W` (paper §4.2, following Zhu & Ghahramani).
+
+use seesaw_linalg::{CsrMatrix, Triplet};
+
+use crate::graph::KnnGraph;
+
+/// How the Gaussian bandwidth σ is chosen.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SigmaRule {
+    /// Use the given σ directly for every edge (the paper's σ = .05 on
+    /// CLIP): `w_ij = exp(−d_ij²/2σ²)`.
+    Fixed(f32),
+    /// Global σ = multiplier × (median neighbour distance). Adapts to
+    /// the embedding geometry.
+    MedianScale(f32),
+    /// Self-tuning bandwidths (Zelnik-Manor & Perona 2004):
+    /// `w_ij = exp(−d_ij²/(σ_i·σ_j))` with `σ_i` = multiplier × distance
+    /// to `i`'s furthest kept neighbour. Down-weights "bridge" edges
+    /// between dense regions and sparse background, which is exactly
+    /// what the DB-alignment regularizer needs.
+    SelfTuning(f32),
+}
+
+impl SigmaRule {
+    /// Per-node bandwidths for a given graph.
+    fn node_sigmas(&self, graph: &KnnGraph) -> Vec<f32> {
+        let n = graph.len();
+        match *self {
+            SigmaRule::Fixed(s) => vec![s.max(1e-6); n],
+            SigmaRule::MedianScale(m) => {
+                vec![(m * graph.median_distance()).max(1e-6); n]
+            }
+            SigmaRule::SelfTuning(m) => (0..n)
+                .map(|i| {
+                    let d = graph.distances_of(i);
+                    (m * d.last().copied().unwrap_or(0.0)).max(1e-6)
+                })
+                .collect(),
+        }
+    }
+
+    /// Resolve to a single global σ when the rule is global; the median
+    /// of per-node bandwidths otherwise (diagnostics).
+    pub fn resolve(&self, graph: &KnnGraph) -> f32 {
+        let mut sigmas = self.node_sigmas(graph);
+        sigmas.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        sigmas.get(sigmas.len() / 2).copied().unwrap_or(1e-6)
+    }
+}
+
+/// Build the symmetrized weighted adjacency `W` of the kNN graph with
+/// Gaussian weights under the chosen bandwidth rule. An edge is present
+/// when either endpoint lists the other; the weight depends only on the
+/// distance and the two endpoints' bandwidths, so it is symmetric by
+/// construction.
+pub fn gaussian_adjacency(graph: &KnnGraph, sigma: SigmaRule) -> CsrMatrix {
+    let n = graph.len();
+    let sigmas = sigma.node_sigmas(graph);
+    // For the global rules the denominator is 2σ² = σ·σ·2; write both as
+    // σ_i·σ_j·scale with scale chosen per rule so Fixed/MedianScale keep
+    // the textbook form.
+    let scale = match sigma {
+        SigmaRule::SelfTuning(_) => 1.0f64,
+        _ => 2.0f64,
+    };
+    let mut triplets: Vec<Triplet> = Vec::with_capacity(n * graph.k() * 2);
+    for i in 0..n {
+        let nbrs = graph.neighbors_of(i);
+        let dists = graph.distances_of(i);
+        for (&j, &d) in nbrs.iter().zip(dists.iter()) {
+            // Each undirected edge is emitted exactly once (plus its
+            // mirror): when j also lists i, only the smaller endpoint
+            // emits.
+            if (j as usize) < i && graph.neighbors_of(j as usize).contains(&(i as u32)) {
+                continue; // already emitted when we processed j
+            }
+            let denom = scale * sigmas[i] as f64 * sigmas[j as usize] as f64;
+            let w = (-(d as f64) * (d as f64) / denom).exp() as f32;
+            if w <= 0.0 {
+                continue;
+            }
+            triplets.push(Triplet { row: i as u32, col: j, val: w });
+            triplets.push(Triplet { row: j, col: i as u32, val: w });
+        }
+    }
+    CsrMatrix::from_triplets(n, n, &triplets)
+}
+
+/// The combinatorial Laplacian `L = D − W` of a symmetric weighted
+/// adjacency. `wᵀ (Xᵀ L X) w = Σ_ij w_ij (s_i − s_j)²/2` penalizes score
+/// variation across edges — the database-alignment regularizer.
+pub fn laplacian(adjacency: &CsrMatrix) -> CsrMatrix {
+    assert_eq!(adjacency.rows(), adjacency.cols(), "adjacency must be square");
+    let n = adjacency.rows();
+    let degrees = adjacency.row_sums();
+    let mut triplets: Vec<Triplet> = Vec::with_capacity(adjacency.nnz() + n);
+    for (i, &d) in degrees.iter().enumerate() {
+        if d != 0.0 {
+            triplets.push(Triplet { row: i as u32, col: i as u32, val: d });
+        }
+        for (j, w) in adjacency.row_iter(i) {
+            triplets.push(Triplet { row: i as u32, col: j, val: -w });
+        }
+    }
+    CsrMatrix::from_triplets(n, n, &triplets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::KnnGraph;
+
+    fn line_graph() -> KnnGraph {
+        // 0.0, 1.0, 1.1, 5.0 on a line; k = 1.
+        KnnGraph::brute_force(1, &[0.0, 1.0, 1.1, 5.0], 1)
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let g = line_graph();
+        let w = gaussian_adjacency(&g, SigmaRule::MedianScale(1.0));
+        assert_eq!(w.max_asymmetry(), 0.0);
+    }
+
+    #[test]
+    fn closer_pairs_get_larger_weights() {
+        let g = line_graph();
+        let w = gaussian_adjacency(&g, SigmaRule::Fixed(1.0));
+        // (1,2) at distance .1 must outweigh (0,1) at distance 1.
+        assert!(w.get(1, 2) > w.get(0, 1));
+        assert!(w.get(1, 2) > 0.9);
+    }
+
+    #[test]
+    fn laplacian_rows_sum_to_zero() {
+        let g = line_graph();
+        let w = gaussian_adjacency(&g, SigmaRule::MedianScale(1.0));
+        let l = laplacian(&w);
+        for sum in l.row_sums() {
+            assert!(sum.abs() < 1e-5, "row sum {sum}");
+        }
+    }
+
+    #[test]
+    fn laplacian_quadratic_form_is_nonnegative() {
+        let g = line_graph();
+        let w = gaussian_adjacency(&g, SigmaRule::MedianScale(1.0));
+        let l = laplacian(&w).to_dense();
+        for y in [
+            vec![1.0f32, -1.0, 0.5, 2.0],
+            vec![0.0, 0.0, 0.0, 0.0],
+            vec![1.0, 1.0, 1.0, 1.0],
+        ] {
+            let q = l.quadratic_form(&y);
+            assert!(q >= -1e-5, "quadratic form {q} for {y:?}");
+        }
+        // Constant vectors are in the null space.
+        let q_const = l.quadratic_form(&[3.0, 3.0, 3.0, 3.0]);
+        assert!(q_const.abs() < 1e-4);
+    }
+
+    #[test]
+    fn sigma_rules_resolve() {
+        let g = line_graph();
+        assert_eq!(SigmaRule::Fixed(0.05).resolve(&g), 0.05);
+        let adaptive = SigmaRule::MedianScale(2.0).resolve(&g);
+        assert!(adaptive > 0.0);
+        let tuned = SigmaRule::SelfTuning(1.0).resolve(&g);
+        assert!(tuned > 0.0);
+    }
+
+    #[test]
+    fn self_tuning_downweights_bridge_edges() {
+        // A dense pair (0, 1) and a far point 2 bridged from 1. Under
+        // self-tuning, the bridge weight relative to the dense weight is
+        // far smaller than under a single global σ.
+        let data = [0.0f32, 0.05, 3.0, 3.05];
+        let g = KnnGraph::brute_force(1, &data, 2);
+        let tuned = gaussian_adjacency(&g, SigmaRule::SelfTuning(1.0));
+        let global = gaussian_adjacency(&g, SigmaRule::MedianScale(1.0));
+        let ratio = |w: &CsrMatrix| w.get(1, 2) / w.get(0, 1).max(1e-20);
+        assert!(
+            ratio(&tuned) <= ratio(&global) + 1e-6,
+            "tuned {} vs global {}",
+            ratio(&tuned),
+            ratio(&global)
+        );
+        assert_eq!(tuned.max_asymmetry(), 0.0);
+    }
+
+    #[test]
+    fn mutual_edges_are_not_double_counted() {
+        // Nodes 1 and 2 are mutual nearest neighbours; the weight must
+        // equal the Gaussian of their distance exactly once.
+        let g = line_graph();
+        let w = gaussian_adjacency(&g, SigmaRule::Fixed(1.0));
+        let expect = (-(0.1f64 * 0.1) / 2.0).exp() as f32;
+        assert!((w.get(1, 2) - expect).abs() < 1e-5);
+    }
+}

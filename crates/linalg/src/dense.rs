@@ -1,0 +1,244 @@
+//! Row-major dense `f32` matrices.
+//!
+//! [`DenseMatrix`] stores an `N × d` block of embedding rows (patches or
+//! images) and the small `d × d` database-alignment matrix `M_D`
+//! (paper §4.2). The layout is a single contiguous buffer so scans and
+//! `gemv`-style products stay cache friendly.
+
+use crate::vector::dot;
+
+/// A row-major dense matrix of `f32`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl DenseMatrix {
+    /// A `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Wrap an existing buffer (row-major, length must be `rows·cols`).
+    ///
+    /// # Panics
+    /// Panics when the buffer length does not match the shape.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Build from an iterator of equal-length rows.
+    pub fn from_rows<'a, I: IntoIterator<Item = &'a [f32]>>(cols: usize, rows: I) -> Self {
+        let mut data = Vec::new();
+        let mut n = 0usize;
+        for row in rows {
+            assert_eq!(row.len(), cols, "row {n} has wrong length");
+            data.extend_from_slice(row);
+            n += 1;
+        }
+        Self {
+            rows: n,
+            cols,
+            data,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// The underlying row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Entry `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        self.data[i * self.cols + j]
+    }
+
+    /// Set entry `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f32) {
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// `y = A·x` (length `rows`).
+    pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.cols);
+        (0..self.rows).map(|i| dot(self.row(i), x)).collect()
+    }
+
+    /// `y = Aᵀ·x` (length `cols`).
+    pub fn transpose_matvec(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.rows);
+        let mut y = vec![0.0f32; self.cols];
+        for (i, &s) in x.iter().enumerate() {
+            if s == 0.0 {
+                continue;
+            }
+            let row = self.row(i);
+            for (yj, rj) in y.iter_mut().zip(row.iter()) {
+                *yj += s * rj;
+            }
+        }
+        y
+    }
+
+    /// Quadratic form `xᵀ A x` for a square matrix.
+    pub fn quadratic_form(&self, x: &[f32]) -> f32 {
+        assert_eq!(self.rows, self.cols, "quadratic form needs a square matrix");
+        assert_eq!(x.len(), self.cols);
+        let ax = self.matvec(x);
+        dot(&ax, x)
+    }
+
+    /// `self ← self + s · (a ⊗ b)` (rank-one update).
+    pub fn add_outer(&mut self, s: f32, a: &[f32], b: &[f32]) {
+        assert_eq!(a.len(), self.rows);
+        assert_eq!(b.len(), self.cols);
+        for (i, &ai) in a.iter().enumerate() {
+            let f = s * ai;
+            if f == 0.0 {
+                continue;
+            }
+            let row = self.row_mut(i);
+            for (rj, bj) in row.iter_mut().zip(b.iter()) {
+                *rj += f * bj;
+            }
+        }
+    }
+
+    /// Scale every entry by `s`.
+    pub fn scale(&mut self, s: f32) {
+        for v in self.data.iter_mut() {
+            *v *= s;
+        }
+    }
+
+    /// Maximum absolute asymmetry `max |A_ij − A_ji|` (diagnostics for
+    /// `M_D`, which must be symmetric).
+    pub fn max_asymmetry(&self) -> f32 {
+        assert_eq!(self.rows, self.cols);
+        let mut worst = 0.0f32;
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                worst = worst.max((self.get(i, j) - self.get(j, i)).abs());
+            }
+        }
+        worst
+    }
+
+    /// Force exact symmetry by averaging with the transpose.
+    pub fn symmetrize(&mut self) {
+        assert_eq!(self.rows, self.cols);
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                let m = 0.5 * (self.get(i, j) + self.get(j, i));
+                self.set(i, j, m);
+                self.set(j, i, m);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DenseMatrix {
+        DenseMatrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+    }
+
+    #[test]
+    fn shape_and_access() {
+        let m = sample();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.get(1, 2), 6.0);
+        assert_eq!(m.row(0), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn matvec_matches_hand_computation() {
+        let m = sample();
+        assert_eq!(m.matvec(&[1.0, 0.0, -1.0]), vec![-2.0, -2.0]);
+    }
+
+    #[test]
+    fn transpose_matvec_matches_hand_computation() {
+        let m = sample();
+        assert_eq!(m.transpose_matvec(&[1.0, 1.0]), vec![5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn quadratic_form_square() {
+        let m = DenseMatrix::from_vec(2, 2, vec![2.0, 0.0, 0.0, 3.0]);
+        assert_eq!(m.quadratic_form(&[1.0, 2.0]), 2.0 + 12.0);
+    }
+
+    #[test]
+    fn outer_product_accumulates() {
+        let mut m = DenseMatrix::zeros(2, 2);
+        m.add_outer(2.0, &[1.0, 0.5], &[3.0, 4.0]);
+        assert_eq!(m.get(0, 0), 6.0);
+        assert_eq!(m.get(1, 1), 4.0);
+    }
+
+    #[test]
+    fn symmetrize_removes_asymmetry() {
+        let mut m = DenseMatrix::from_vec(2, 2, vec![1.0, 2.0, 4.0, 1.0]);
+        assert!(m.max_asymmetry() > 1.0);
+        m.symmetrize();
+        assert_eq!(m.max_asymmetry(), 0.0);
+        assert_eq!(m.get(0, 1), 3.0);
+    }
+
+    #[test]
+    fn from_rows_builds_matrix() {
+        let rows: Vec<&[f32]> = vec![&[1.0, 2.0], &[3.0, 4.0]];
+        let m = DenseMatrix::from_rows(2, rows);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.get(1, 0), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn from_vec_rejects_bad_shape() {
+        let _ = DenseMatrix::from_vec(2, 2, vec![0.0; 5]);
+    }
+}

@@ -1,0 +1,27 @@
+//! Dense and sparse linear-algebra kernels used throughout the SeeSaw
+//! reproduction.
+//!
+//! Everything in the SeeSaw pipeline manipulates unit-norm embedding
+//! vectors (`f32`, typically 128–512 dimensional) and two matrix shapes:
+//!
+//! * a *row-major dense matrix* of embeddings (`N × d`, [`DenseMatrix`]),
+//! * a *sparse graph Laplacian* (`N × N`, [`CsrMatrix`]) produced from the
+//!   kNN graph and consumed by database alignment (§4.2 of the paper).
+//!
+//! The kernels here are deliberately simple, allocation-conscious loops:
+//! the hot paths (dot products, `Xᵀ L X`) vectorize well under `-O` and
+//! need no BLAS dependency.
+
+pub mod dense;
+#[cfg(test)]
+mod proptests;
+pub mod sparse;
+pub mod vector;
+
+pub use dense::DenseMatrix;
+pub use sparse::{CsrMatrix, Triplet};
+pub use vector::{
+    add_scaled, cosine, dot, l2_norm, l2_norm_sq, mean_vector, normalize, normalized,
+    orthonormal_component, random_unit_vector, rotate_toward, scale, squared_euclidean,
+    standard_normal,
+};

@@ -1,0 +1,125 @@
+//! Property-based tests for the algebra kernels: identities that must
+//! hold for arbitrary inputs.
+
+#![cfg(test)]
+
+use crate::{dense::DenseMatrix, sparse::CsrMatrix, sparse::Triplet, vector::*};
+use proptest::prelude::*;
+
+fn small_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-10.0f32..10.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn dot_is_symmetric_and_bilinear(a in small_vec(8), b in small_vec(8), s in -5.0f32..5.0) {
+        prop_assert!((dot(&a, &b) - dot(&b, &a)).abs() < 1e-3);
+        let scaled: Vec<f32> = a.iter().map(|v| v * s).collect();
+        prop_assert!((dot(&scaled, &b) - s * dot(&a, &b)).abs() < 1e-1);
+    }
+
+    #[test]
+    fn cauchy_schwarz(a in small_vec(6), b in small_vec(6)) {
+        let lhs = dot(&a, &b).abs();
+        let rhs = l2_norm(&a) * l2_norm(&b);
+        prop_assert!(lhs <= rhs + 1e-3, "{lhs} > {rhs}");
+    }
+
+    #[test]
+    fn normalize_is_idempotent(a in small_vec(5)) {
+        let mut v = a.clone();
+        normalize(&mut v);
+        let once = v.clone();
+        normalize(&mut v);
+        for (x, y) in once.iter().zip(v.iter()) {
+            prop_assert!((x - y).abs() < 1e-5);
+        }
+        let n = l2_norm(&v);
+        prop_assert!(n == 0.0 || (n - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn squared_euclidean_matches_expansion(a in small_vec(7), b in small_vec(7)) {
+        // ‖a−b‖² = ‖a‖² − 2a·b + ‖b‖²
+        let direct = squared_euclidean(&a, &b);
+        let expanded = l2_norm_sq(&a) - 2.0 * dot(&a, &b) + l2_norm_sq(&b);
+        prop_assert!((direct - expanded).abs() < 1e-2, "{direct} vs {expanded}");
+    }
+
+    #[test]
+    fn rotation_preserves_norm_and_angle(
+        seed in 0u64..1000,
+        angle in 0.0f32..1.5,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let from = random_unit_vector(&mut rng, 16);
+        let toward = random_unit_vector(&mut rng, 16);
+        let out = rotate_toward(&from, &toward, angle);
+        prop_assert!((l2_norm(&out) - 1.0).abs() < 1e-4);
+        let got = dot(&out, &from).clamp(-1.0, 1.0).acos();
+        // Parallel `toward` is a no-op; otherwise the angle is realized.
+        if orthonormal_component(&toward, &from).iter().map(|v| v * v).sum::<f32>() > 1e-6 {
+            prop_assert!((got - angle).abs() < 1e-2, "asked {angle} got {got}");
+        }
+    }
+
+    #[test]
+    fn csr_matvec_matches_dense(
+        triplets in proptest::collection::vec((0u32..5, 0u32..5, -3.0f32..3.0), 0..20),
+        x in small_vec(5),
+    ) {
+        let trips: Vec<Triplet> = triplets
+            .iter()
+            .map(|&(r, c, v)| Triplet { row: r, col: c, val: v })
+            .collect();
+        let m = CsrMatrix::from_triplets(5, 5, &trips);
+        let dense = m.to_dense();
+        let sparse_y = m.matvec(&x);
+        let dense_y = dense.matvec(&x);
+        for (a, b) in sparse_y.iter().zip(dense_y.iter()) {
+            prop_assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn xtax_equals_dense_composition(
+        triplets in proptest::collection::vec((0u32..4, 0u32..4, -2.0f32..2.0), 0..12),
+        xdata in proptest::collection::vec(-2.0f32..2.0, 12),
+        w in small_vec(3),
+    ) {
+        // wᵀ(XᵀAX)w must equal (Xw)ᵀA(Xw).
+        let trips: Vec<Triplet> = triplets
+            .iter()
+            .map(|&(r, c, v)| Triplet { row: r, col: c, val: v })
+            .collect();
+        let a = CsrMatrix::from_triplets(4, 4, &trips);
+        let x = DenseMatrix::from_vec(4, 3, xdata);
+        let m = a.xtax(&x);
+        let lhs = {
+            let mw = m.matvec(&w);
+            dot(&mw, &w)
+        };
+        let xw = x.matvec(&w);
+        let a_xw = a.matvec(&xw);
+        let rhs = dot(&a_xw, &xw);
+        prop_assert!((lhs - rhs).abs() < 1e-1 * (1.0 + rhs.abs()), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn dense_transpose_matvec_adjoint(
+        data in proptest::collection::vec(-3.0f32..3.0, 12),
+        x in small_vec(3),
+        y in small_vec(4),
+    ) {
+        // ⟨Ax, y⟩ = ⟨x, Aᵀy⟩.
+        let m = DenseMatrix::from_vec(4, 3, data);
+        let ax = m.matvec(&x);
+        let aty = m.transpose_matvec(&y);
+        let lhs = dot(&ax, &y);
+        let rhs = dot(&x, &aty);
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+    }
+}

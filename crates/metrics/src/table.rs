@@ -1,0 +1,131 @@
+//! Fixed-width text tables for the benchmark binaries — every bench
+//! target prints its paper table/figure in this format.
+
+use std::fmt::Write as _;
+
+/// Builds an aligned, fixed-width table row by row.
+#[derive(Clone, Debug, Default)]
+pub struct TableBuilder {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TableBuilder {
+    /// Start a table with a title line.
+    pub fn new(title: impl Into<String>) -> Self {
+        Self {
+            title: title.into(),
+            header: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Set the column headers.
+    pub fn header<I, S>(mut self, cols: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.header = cols.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Append a row of already-formatted cells.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Append a label followed by fixed-precision numbers.
+    pub fn num_row(&mut self, label: impl Into<String>, values: &[f64], precision: usize) {
+        let mut cells = vec![label.into()];
+        for v in values {
+            cells.push(format!("{v:.precision$}"));
+        }
+        self.rows.push(cells);
+    }
+
+    /// Render to a string.
+    pub fn render(&self) -> String {
+        let n_cols = self
+            .rows
+            .iter()
+            .map(|r| r.len())
+            .chain(std::iter::once(self.header.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; n_cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "== {} ==", self.title);
+        }
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                if i == 0 {
+                    let _ = write!(line, "{cell:<w$}");
+                } else {
+                    let _ = write!(line, "  {cell:>w$}");
+                }
+            }
+            line.trim_end().to_string()
+        };
+        if !self.header.is_empty() {
+            let _ = writeln!(out, "{}", fmt_row(&self.header, &widths));
+            let total: usize = widths.iter().sum::<usize>() + 2 * (n_cols.saturating_sub(1));
+            let _ = writeln!(out, "{}", "-".repeat(total));
+        }
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for TableBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TableBuilder::new("Demo").header(["method", "LVIS", "BDD"]);
+        t.num_row("zero-shot", &[0.63, 0.74], 2);
+        t.num_row("this work", &[0.76, 0.79], 2);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("zero-shot"));
+        assert!(s.contains("0.76"));
+        let lines: Vec<&str> = s.lines().collect();
+        // Header + separator + 2 rows + title.
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn handles_ragged_rows() {
+        let mut t = TableBuilder::new("");
+        t.row(["a", "b"]);
+        t.row(["only"]);
+        let s = t.render();
+        assert!(s.contains("only"));
+    }
+}

@@ -1,0 +1,293 @@
+//! L2-regularized logistic regression.
+//!
+//! This is the workhorse behind two parts of the paper:
+//!
+//! * the **few-shot CLIP** baseline (§3.2, Eq. 1): fit `w` on the handful
+//!   of labeled examples from user feedback. Following the paper, the
+//!   bias term defaults to *off* ("we find fitting both w and b …
+//!   substantially reduces the accuracy of the learned w as a query, so
+//!   we do not use the b parameter");
+//! * the **ideal query vector** of Fig. 4: fit `w` on the *entire*
+//!   labeled dataset to upper-bound what query alignment can achieve.
+
+use crate::lbfgs::{Lbfgs, LbfgsConfig};
+use crate::{log1p_exp, sigmoid};
+
+/// Configuration for [`LogisticModel::fit`].
+#[derive(Clone, Debug)]
+pub struct LogisticConfig {
+    /// L2 penalty `λ‖w‖²` (paper Eq. 1 uses λ = 100 in the benchmark).
+    pub l2: f64,
+    /// Fit an intercept. Default `false` per §3.2.
+    pub fit_bias: bool,
+    /// Optional per-class weights `(w_neg, w_pos)` to balance skewed
+    /// feedback sets.
+    pub class_weights: Option<(f64, f64)>,
+    /// Solver settings.
+    pub solver: LbfgsConfig,
+}
+
+impl Default for LogisticConfig {
+    fn default() -> Self {
+        Self {
+            l2: 100.0,
+            fit_bias: false,
+            class_weights: None,
+            solver: LbfgsConfig::default(),
+        }
+    }
+}
+
+/// A fitted linear classifier `P(y=1|x) = σ(w·x + b)`.
+#[derive(Clone, Debug)]
+pub struct LogisticModel {
+    /// Learned weight vector (length = feature dimension).
+    pub weights: Vec<f32>,
+    /// Learned intercept (0 unless `fit_bias`).
+    pub bias: f32,
+    /// Final training loss.
+    pub loss: f64,
+    /// Whether the solver reported convergence.
+    pub converged: bool,
+}
+
+impl LogisticModel {
+    /// Fit on rows `x` (each of dimension `dim`) with ±labels `y`
+    /// (`true` = positive). Returns `None` when `x` is empty.
+    ///
+    /// # Panics
+    /// Panics if `x` and `y` lengths differ, or a row has the wrong
+    /// dimension.
+    pub fn fit(dim: usize, x: &[&[f32]], y: &[bool], config: &LogisticConfig) -> Option<Self> {
+        assert_eq!(x.len(), y.len(), "feature/label count mismatch");
+        if x.is_empty() {
+            return None;
+        }
+        for (i, row) in x.iter().enumerate() {
+            assert_eq!(row.len(), dim, "row {i} has wrong dimension");
+        }
+        let n_params = if config.fit_bias { dim + 1 } else { dim };
+        let (w_neg, w_pos) = config.class_weights.unwrap_or((1.0, 1.0));
+
+        let objective = |p: &[f64], grad: &mut [f64]| -> f64 {
+            grad.iter_mut().for_each(|g| *g = 0.0);
+            let bias = if config.fit_bias { p[dim] } else { 0.0 };
+            let mut loss = 0.0f64;
+            for (row, &label) in x.iter().zip(y.iter()) {
+                let mut z = bias;
+                for (pi, xi) in p[..dim].iter().zip(row.iter()) {
+                    z += pi * (*xi as f64);
+                }
+                let weight = if label { w_pos } else { w_neg };
+                // loss = −log σ(z) for y=1 ; −log(1−σ(z)) for y=0
+                loss += weight * if label { log1p_exp(-z) } else { log1p_exp(z) };
+                let residual = weight * (sigmoid(z) - if label { 1.0 } else { 0.0 });
+                for (g, xi) in grad[..dim].iter_mut().zip(row.iter()) {
+                    *g += residual * (*xi as f64);
+                }
+                if config.fit_bias {
+                    grad[dim] += residual;
+                }
+            }
+            // λ‖w‖² penalty on weights only, never the bias.
+            for i in 0..dim {
+                loss += config.l2 * p[i] * p[i];
+                grad[i] += 2.0 * config.l2 * p[i];
+            }
+            loss
+        };
+
+        let mut params = vec![0.0f64; n_params];
+        let outcome = Lbfgs::new(config.solver.clone()).minimize(&objective, &mut params);
+        Some(Self {
+            weights: params[..dim].iter().map(|&v| v as f32).collect(),
+            bias: if config.fit_bias { params[dim] as f32 } else { 0.0 },
+            loss: outcome.value,
+            converged: outcome.converged,
+        })
+    }
+
+    /// Decision score `w·x + b`.
+    pub fn score(&self, x: &[f32]) -> f32 {
+        let mut z = self.bias;
+        for (w, xi) in self.weights.iter().zip(x.iter()) {
+            z += w * xi;
+        }
+        z
+    }
+
+    /// Probability `P(y=1|x)`.
+    pub fn predict_proba(&self, x: &[f32]) -> f32 {
+        sigmoid(self.score(x) as f64) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn separable_data(n: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<bool>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..n {
+            let label = rng.gen_bool(0.5);
+            let center = if label { 1.0 } else { -1.0 };
+            xs.push(vec![
+                center + rng.gen_range(-0.3..0.3),
+                rng.gen_range(-1.0..1.0),
+            ]);
+            ys.push(label);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn learns_a_separating_direction() {
+        let (xs, ys) = separable_data(200, 3);
+        let refs: Vec<&[f32]> = xs.iter().map(|v| v.as_slice()).collect();
+        let cfg = LogisticConfig {
+            l2: 0.01,
+            ..Default::default()
+        };
+        let model = LogisticModel::fit(2, &refs, &ys, &cfg).unwrap();
+        let correct = refs
+            .iter()
+            .zip(ys.iter())
+            .filter(|(x, &y)| (model.score(x) > 0.0) == y)
+            .count();
+        assert!(correct as f64 / ys.len() as f64 > 0.95, "{correct}/200");
+        // The informative axis should dominate.
+        assert!(model.weights[0].abs() > model.weights[1].abs() * 3.0);
+    }
+
+    #[test]
+    fn empty_input_returns_none() {
+        assert!(LogisticModel::fit(4, &[], &[], &LogisticConfig::default()).is_none());
+    }
+
+    #[test]
+    fn strong_l2_shrinks_weights() {
+        let (xs, ys) = separable_data(50, 5);
+        let refs: Vec<&[f32]> = xs.iter().map(|v| v.as_slice()).collect();
+        let small = LogisticModel::fit(
+            2,
+            &refs,
+            &ys,
+            &LogisticConfig { l2: 0.01, ..Default::default() },
+        )
+        .unwrap();
+        let big = LogisticModel::fit(
+            2,
+            &refs,
+            &ys,
+            &LogisticConfig { l2: 100.0, ..Default::default() },
+        )
+        .unwrap();
+        let norm = |w: &[f32]| w.iter().map(|v| v * v).sum::<f32>().sqrt();
+        assert!(norm(&big.weights) < norm(&small.weights));
+    }
+
+    #[test]
+    fn bias_disabled_by_default() {
+        let (xs, ys) = separable_data(50, 7);
+        let refs: Vec<&[f32]> = xs.iter().map(|v| v.as_slice()).collect();
+        let model = LogisticModel::fit(2, &refs, &ys, &LogisticConfig::default()).unwrap();
+        assert_eq!(model.bias, 0.0);
+    }
+
+    #[test]
+    fn bias_learned_when_enabled_on_shifted_data() {
+        // All-positive region is shifted: x > 2 → needs a negative bias.
+        let xs: Vec<Vec<f32>> = (0..100).map(|i| vec![i as f32 / 10.0]).collect();
+        let ys: Vec<bool> = (0..100).map(|i| i as f32 / 10.0 > 5.0).collect();
+        let refs: Vec<&[f32]> = xs.iter().map(|v| v.as_slice()).collect();
+        let cfg = LogisticConfig {
+            l2: 0.001,
+            fit_bias: true,
+            ..Default::default()
+        };
+        let model = LogisticModel::fit(1, &refs, &ys, &cfg).unwrap();
+        assert!(model.bias < 0.0, "bias {}", model.bias);
+        let correct = refs
+            .iter()
+            .zip(ys.iter())
+            .filter(|(x, &y)| (model.score(x) > 0.0) == y)
+            .count();
+        assert!(correct >= 95, "{correct}/100");
+    }
+
+    #[test]
+    fn single_positive_example_points_toward_it() {
+        // The few-shot regime: one labeled point. w must align with it.
+        let x = vec![0.6f32, 0.8];
+        let refs: [&[f32]; 1] = [x.as_slice()];
+        let cfg = LogisticConfig { l2: 1.0, ..Default::default() };
+        let model = LogisticModel::fit(2, &refs, &[true], &cfg).unwrap();
+        let cos = (model.weights[0] * 0.6 + model.weights[1] * 0.8)
+            / model.weights.iter().map(|v| v * v).sum::<f32>().sqrt();
+        assert!(cos > 0.99, "cosine {cos}");
+    }
+
+    #[test]
+    fn class_weights_shift_the_boundary() {
+        let xs = [vec![1.0f32], vec![-1.0f32]];
+        let refs: Vec<&[f32]> = xs.iter().map(|v| v.as_slice()).collect();
+        let ys = vec![true, false];
+        let balanced =
+            LogisticModel::fit(1, &refs, &ys, &LogisticConfig { l2: 0.1, ..Default::default() })
+                .unwrap();
+        let pos_heavy = LogisticModel::fit(
+            1,
+            &refs,
+            &ys,
+            &LogisticConfig {
+                l2: 0.1,
+                class_weights: Some((1.0, 10.0)),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(pos_heavy.weights[0] > balanced.weights[0]);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let (xs, ys) = separable_data(20, 11);
+        let refs: Vec<&[f32]> = xs.iter().map(|v| v.as_slice()).collect();
+        let cfg = LogisticConfig {
+            l2: 2.0,
+            fit_bias: true,
+            ..Default::default()
+        };
+        let dim = 2;
+        let f = |p: &[f64], g: &mut [f64]| -> f64 {
+            // Re-derive the closure used in fit (duplicated on purpose:
+            // the production closure is private).
+            g.iter_mut().for_each(|v| *v = 0.0);
+            let mut loss = 0.0;
+            for (row, &label) in refs.iter().zip(ys.iter()) {
+                let mut z = p[dim];
+                for (pi, xi) in p[..dim].iter().zip(row.iter()) {
+                    z += pi * (*xi as f64);
+                }
+                loss += if label { log1p_exp(-z) } else { log1p_exp(z) };
+                let r = sigmoid(z) - if label { 1.0 } else { 0.0 };
+                for (gi, xi) in g[..dim].iter_mut().zip(row.iter()) {
+                    *gi += r * (*xi as f64);
+                }
+                g[dim] += r;
+            }
+            for i in 0..dim {
+                loss += cfg.l2 * p[i] * p[i];
+                g[i] += 2.0 * cfg.l2 * p[i];
+            }
+            loss
+        };
+        let p = vec![0.3, -0.2, 0.1];
+        let err = crate::gradcheck::max_gradient_error(&f, &p, 1e-5);
+        assert!(err < 1e-4, "gradient error {err}");
+    }
+}

@@ -1,0 +1,146 @@
+//! Platt scaling (Platt 2000; Niculescu-Mizil & Caruana 2005).
+//!
+//! Table 4 of the paper shows ENS is highly sensitive to whether its
+//! per-vertex prior scores are *calibrated* probabilities. The authors
+//! calibrate CLIP scores with Platt scaling using ground-truth labels
+//! ("not possible in a real deployment") to demonstrate the sensitivity;
+//! we reproduce exactly that experiment.
+//!
+//! Platt scaling fits `P(y=1|s) = σ(a·s + b)` by maximizing the Bernoulli
+//! likelihood with Platt's smoothed targets
+//! `t⁺ = (N⁺+1)/(N⁺+2)`, `t⁻ = 1/(N⁻+2)`.
+
+use crate::lbfgs::{Lbfgs, LbfgsConfig};
+use crate::{log1p_exp, sigmoid};
+
+/// A fitted score→probability map.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PlattScaler {
+    /// Slope `a` (negative scores ranked lower ⇒ `a > 0` normally).
+    pub a: f64,
+    /// Intercept `b`.
+    pub b: f64,
+}
+
+impl PlattScaler {
+    /// Fit on raw scores and binary labels. Returns `None` when `scores`
+    /// is empty or labels are single-class (slope would be unidentified;
+    /// callers should fall back to the raw scores).
+    pub fn fit(scores: &[f32], labels: &[bool]) -> Option<Self> {
+        assert_eq!(scores.len(), labels.len(), "score/label count mismatch");
+        let n_pos = labels.iter().filter(|&&l| l).count();
+        let n_neg = labels.len() - n_pos;
+        if n_pos == 0 || n_neg == 0 {
+            return None;
+        }
+        let t_pos = (n_pos as f64 + 1.0) / (n_pos as f64 + 2.0);
+        let t_neg = 1.0 / (n_neg as f64 + 2.0);
+
+        let objective = |p: &[f64], grad: &mut [f64]| -> f64 {
+            let (a, b) = (p[0], p[1]);
+            let mut loss = 0.0;
+            grad[0] = 0.0;
+            grad[1] = 0.0;
+            for (&s, &y) in scores.iter().zip(labels.iter()) {
+                let z = a * s as f64 + b;
+                let t = if y { t_pos } else { t_neg };
+                // Cross-entropy against the smoothed target t:
+                // −t·log σ(z) − (1−t)·log(1−σ(z)).
+                loss += t * log1p_exp(-z) + (1.0 - t) * log1p_exp(z);
+                let r = sigmoid(z) - t;
+                grad[0] += r * s as f64;
+                grad[1] += r;
+            }
+            loss
+        };
+
+        let mut params = vec![0.0f64, 0.0];
+        let cfg = LbfgsConfig {
+            max_iters: 200,
+            ..LbfgsConfig::default()
+        };
+        let out = Lbfgs::new(cfg).minimize(&objective, &mut params);
+        if !params[0].is_finite() || !params[1].is_finite() || !out.value.is_finite() {
+            return None;
+        }
+        Some(Self {
+            a: params[0],
+            b: params[1],
+        })
+    }
+
+    /// Map a raw score to a calibrated probability in `(0, 1)`.
+    #[inline]
+    pub fn calibrate(&self, score: f32) -> f32 {
+        sigmoid(self.a * score as f64 + self.b) as f32
+    }
+
+    /// Calibrate a whole slice.
+    pub fn calibrate_all(&self, scores: &[f32]) -> Vec<f32> {
+        scores.iter().map(|&s| self.calibrate(s)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_monotone_mapping() {
+        // Scores already ordered: positives have higher scores.
+        let scores: Vec<f32> = (0..100).map(|i| i as f32 / 100.0).collect();
+        let labels: Vec<bool> = (0..100).map(|i| i >= 50).collect();
+        let platt = PlattScaler::fit(&scores, &labels).unwrap();
+        assert!(platt.a > 0.0, "slope {}", platt.a);
+        assert!(platt.calibrate(0.9) > 0.8);
+        assert!(platt.calibrate(0.1) < 0.2);
+    }
+
+    #[test]
+    fn calibrated_probabilities_match_base_rate() {
+        // 20% positive at every score (label depends on the block index,
+        // score on the position within the block, so they are
+        // independent): calibrated output should hover near .2
+        // regardless of score.
+        let mut scores = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..200 {
+            scores.push((i % 10) as f32 / 10.0);
+            labels.push((i / 10) % 5 == 0);
+        }
+        let platt = PlattScaler::fit(&scores, &labels).unwrap();
+        for s in [0.0f32, 0.5, 0.9] {
+            let p = platt.calibrate(s);
+            assert!((p - 0.2).abs() < 0.1, "score {s} gave {p}");
+        }
+    }
+
+    #[test]
+    fn single_class_returns_none() {
+        assert!(PlattScaler::fit(&[0.1, 0.2], &[true, true]).is_none());
+        assert!(PlattScaler::fit(&[0.1, 0.2], &[false, false]).is_none());
+        assert!(PlattScaler::fit(&[], &[]).is_none());
+    }
+
+    #[test]
+    fn probabilities_are_in_unit_interval() {
+        let scores = vec![-100.0f32, -1.0, 0.0, 1.0, 100.0];
+        let labels = vec![false, false, true, true, true];
+        let platt = PlattScaler::fit(&scores, &labels).unwrap();
+        for &s in &scores {
+            let p = platt.calibrate(s);
+            assert!((0.0..=1.0).contains(&p), "{p}");
+        }
+    }
+
+    #[test]
+    fn inverted_scores_get_negative_slope() {
+        // If high score means *negative*, Platt learns a < 0 and fixes
+        // the ordering.
+        let scores: Vec<f32> = (0..60).map(|i| i as f32).collect();
+        let labels: Vec<bool> = (0..60).map(|i| i < 30).collect();
+        let platt = PlattScaler::fit(&scores, &labels).unwrap();
+        assert!(platt.a < 0.0);
+        assert!(platt.calibrate(0.0) > platt.calibrate(59.0));
+    }
+}

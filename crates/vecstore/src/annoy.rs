@@ -1,0 +1,503 @@
+//! Annoy-style forest of random-projection trees.
+//!
+//! The store the paper uses ("Our implementation uses the Annoy store,
+//! which offers only approximate maximum inner product lookup", §2.2).
+//! Algorithm, following `spotify/annoy`:
+//!
+//! * **build** — each tree recursively splits its subset by the midplane
+//!   of two randomly sampled points; recursion stops at `leaf_size`;
+//! * **query** — a single max-priority queue over all trees ordered by
+//!   worst-case margin; leaves are drained into a candidate set until
+//!   `search_k` candidates are gathered; candidates are exactly
+//!   re-ranked by inner product.
+//!
+//! `search_k` is the accuracy/latency knob; recall against
+//! [`crate::ExactStore`] is measured in `crate::recall` tests and in the
+//! integration suite.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use seesaw_linalg::{add_scaled, dot, normalize, scale, squared_euclidean};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::{sort_hits, Hit, VectorStore};
+
+/// Build-time configuration for [`RpForest`].
+#[derive(Clone, Debug)]
+pub struct RpForestConfig {
+    /// Number of trees — more trees, higher recall, more memory.
+    pub n_trees: usize,
+    /// Maximum items per leaf.
+    pub leaf_size: usize,
+    /// Default number of candidates gathered per query (Annoy's
+    /// `search_k`); individual queries may override.
+    pub search_k: usize,
+    /// Seed for the random splits.
+    pub seed: u64,
+}
+
+impl Default for RpForestConfig {
+    fn default() -> Self {
+        Self {
+            n_trees: 32,
+            leaf_size: 16,
+            search_k: 8192,
+            seed: 0x005e_e5a3,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Node {
+    Split {
+        /// Unit normal of the splitting hyperplane.
+        normal: Vec<f32>,
+        /// Offset: points with `dot(normal, p) > threshold` go left.
+        threshold: f32,
+        left: u32,
+        right: u32,
+    },
+    Leaf {
+        start: u32,
+        len: u32,
+    },
+}
+
+#[derive(Clone, Debug)]
+struct Tree {
+    nodes: Vec<Node>,
+    /// Permutation of item ids; leaves reference contiguous ranges.
+    items: Vec<u32>,
+}
+
+/// The approximate MIPS index.
+#[derive(Clone, Debug)]
+pub struct RpForest {
+    dim: usize,
+    data: Vec<f32>,
+    trees: Vec<Tree>,
+    config: RpForestConfig,
+}
+
+impl RpForest {
+    /// Build a forest over a row-major buffer of unit vectors.
+    ///
+    /// # Panics
+    /// Panics when the buffer is not a multiple of `dim`.
+    pub fn build(dim: usize, data: Vec<f32>, config: RpForestConfig) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert_eq!(data.len() % dim, 0, "buffer is not a multiple of dim");
+        let n = data.len() / dim;
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let trees = (0..config.n_trees.max(1))
+            .map(|_| build_tree(dim, &data, n, config.leaf_size.max(2), &mut rng))
+            .collect();
+        Self {
+            dim,
+            data,
+            trees,
+            config,
+        }
+    }
+
+    /// Borrow vector `id`.
+    #[inline]
+    pub fn vector(&self, id: u32) -> &[f32] {
+        let i = id as usize * self.dim;
+        &self.data[i..i + self.dim]
+    }
+
+    /// Number of trees in the forest.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Top-`k` with an explicit `search_k` override (larger = more
+    /// accurate, slower).
+    pub fn top_k_with_search_k(
+        &self,
+        query: &[f32],
+        k: usize,
+        search_k: usize,
+        keep: &dyn Fn(u32) -> bool,
+    ) -> Vec<Hit> {
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        let n = self.len();
+        if k == 0 || n == 0 {
+            return Vec::new();
+        }
+
+        // Shared max-heap across all trees, keyed by worst-case margin.
+        #[derive(PartialEq)]
+        struct Entry {
+            priority: f32,
+            tree: u32,
+            node: u32,
+        }
+        impl Eq for Entry {}
+        impl PartialOrd for Entry {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Entry {
+            fn cmp(&self, other: &Self) -> Ordering {
+                self.priority
+                    .partial_cmp(&other.priority)
+                    .unwrap_or(Ordering::Equal)
+            }
+        }
+
+        let mut heap = BinaryHeap::with_capacity(64);
+        for (t, _) in self.trees.iter().enumerate() {
+            heap.push(Entry {
+                priority: f32::INFINITY,
+                tree: t as u32,
+                node: 0,
+            });
+        }
+
+        let budget = search_k.max(k);
+        let mut seen = vec![false; n];
+        let mut candidates: Vec<u32> = Vec::with_capacity(budget.min(n));
+        while let Some(Entry { priority, tree, node }) = heap.pop() {
+            if candidates.len() >= budget {
+                break;
+            }
+            let t = &self.trees[tree as usize];
+            match &t.nodes[node as usize] {
+                Node::Leaf { start, len } => {
+                    for &id in &t.items[*start as usize..(*start + *len) as usize] {
+                        if !seen[id as usize] {
+                            seen[id as usize] = true;
+                            candidates.push(id);
+                        }
+                    }
+                }
+                Node::Split {
+                    normal,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    let margin = dot(normal, query) - threshold;
+                    let (near, far) = if margin > 0.0 { (*left, *right) } else { (*right, *left) };
+                    heap.push(Entry {
+                        priority,
+                        tree,
+                        node: near,
+                    });
+                    heap.push(Entry {
+                        priority: priority.min(margin.abs()),
+                        tree,
+                        node: far,
+                    });
+                }
+            }
+        }
+
+        let mut hits: Vec<Hit> = candidates
+            .into_iter()
+            .filter(|&id| keep(id))
+            .map(|id| Hit {
+                id,
+                score: dot(query, self.vector(id)),
+            })
+            .collect();
+        sort_hits(&mut hits);
+        hits.truncate(k);
+        hits
+    }
+}
+
+impl VectorStore for RpForest {
+    fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn top_k_filtered(&self, query: &[f32], k: usize, keep: &dyn Fn(u32) -> bool) -> Vec<Hit> {
+        self.top_k_with_search_k(query, k, self.config.search_k, keep)
+    }
+}
+
+fn build_tree(dim: usize, data: &[f32], n: usize, leaf_size: usize, rng: &mut StdRng) -> Tree {
+    let mut items: Vec<u32> = (0..n as u32).collect();
+    let mut nodes = Vec::new();
+    if n == 0 {
+        nodes.push(Node::Leaf { start: 0, len: 0 });
+        return Tree { nodes, items };
+    }
+    nodes.push(Node::Leaf { start: 0, len: 0 }); // placeholder for the root
+    build_subtree(dim, data, &mut items, 0, n, 0, leaf_size, &mut nodes, rng, 0);
+    Tree { nodes, items }
+}
+
+/// Recursively split `items[lo..hi]`, writing the node at `slot`.
+#[allow(clippy::too_many_arguments)]
+fn build_subtree(
+    dim: usize,
+    data: &[f32],
+    items: &mut [u32],
+    lo: usize,
+    hi: usize,
+    slot: usize,
+    leaf_size: usize,
+    nodes: &mut Vec<Node>,
+    rng: &mut StdRng,
+    depth: u32,
+) {
+    let len = hi - lo;
+    // Depth cap guards against pathological duplicate-heavy data.
+    if len <= leaf_size || depth > 48 {
+        nodes[slot] = Node::Leaf {
+            start: lo as u32,
+            len: len as u32,
+        };
+        return;
+    }
+
+    let vec_of = |id: u32| &data[id as usize * dim..(id as usize + 1) * dim];
+
+    // Annoy split: midplane between two centroids obtained by seeding
+    // with two random points and refining with a few rounds of 2-means
+    // over a sample of the subset. The refinement is what makes the
+    // splits informative on clustered embedding data (a raw random
+    // pair mostly separates background clusters and leaves the
+    // within-cluster structure unsplit).
+    let mut c1 = Vec::with_capacity(dim);
+    let mut c2 = Vec::with_capacity(dim);
+    let mut ok = false;
+    for _ in 0..8 {
+        let a = items[lo + rng.gen_range(0..len)];
+        let b = items[lo + rng.gen_range(0..len)];
+        if a == b {
+            continue;
+        }
+        let (va, vb) = (vec_of(a), vec_of(b));
+        if squared_euclidean(va, vb) < 1e-12 {
+            continue;
+        }
+        c1 = va.to_vec();
+        c2 = vb.to_vec();
+        ok = true;
+        break;
+    }
+    if !ok {
+        // All sampled pairs identical: data is (locally) degenerate.
+        nodes[slot] = Node::Leaf {
+            start: lo as u32,
+            len: len as u32,
+        };
+        return;
+    }
+
+    // 2-means refinement over a bounded sample.
+    let sample_n = len.min(128);
+    let mut sum1 = vec![0.0f32; dim];
+    let mut sum2 = vec![0.0f32; dim];
+    for _ in 0..6 {
+        sum1.iter_mut().for_each(|v| *v = 0.0);
+        sum2.iter_mut().for_each(|v| *v = 0.0);
+        let mut n1 = 0usize;
+        let mut n2 = 0usize;
+        for s in 0..sample_n {
+            // Deterministic strided sample of the subset.
+            let idx = lo + (s * len) / sample_n;
+            let v = vec_of(items[idx]);
+            if squared_euclidean(v, &c1) <= squared_euclidean(v, &c2) {
+                add_scaled(&mut sum1, 1.0, v);
+                n1 += 1;
+            } else {
+                add_scaled(&mut sum2, 1.0, v);
+                n2 += 1;
+            }
+        }
+        if n1 == 0 || n2 == 0 {
+            break;
+        }
+        c1.copy_from_slice(&sum1);
+        scale(&mut c1, 1.0 / n1 as f32);
+        c2.copy_from_slice(&sum2);
+        scale(&mut c2, 1.0 / n2 as f32);
+    }
+
+    let mut normal = c1.clone();
+    add_scaled(&mut normal, -1.0, &c2);
+    let norm_sq: f32 = normal.iter().map(|v| v * v).sum();
+    if norm_sq < 1e-12 {
+        nodes[slot] = Node::Leaf {
+            start: lo as u32,
+            len: len as u32,
+        };
+        return;
+    }
+    normalize(&mut normal);
+    let mut mid = c1.clone();
+    add_scaled(&mut mid, 1.0, &c2);
+    scale(&mut mid, 0.5);
+    let threshold = dot(&normal, &mid);
+
+    // Partition in place: left side has dot > threshold.
+    let mut i = lo;
+    let mut j = hi;
+    while i < j {
+        if dot(&normal, vec_of(items[i])) > threshold {
+            i += 1;
+        } else {
+            j -= 1;
+            items.swap(i, j);
+        }
+    }
+    let mut split = i;
+    // Degenerate partition: balance randomly so depth stays bounded.
+    if split == lo || split == hi {
+        split = lo + len / 2;
+    }
+
+    let left_slot = nodes.len();
+    nodes.push(Node::Leaf { start: 0, len: 0 });
+    let right_slot = nodes.len();
+    nodes.push(Node::Leaf { start: 0, len: 0 });
+    nodes[slot] = Node::Split {
+        normal,
+        threshold,
+        left: left_slot as u32,
+        right: right_slot as u32,
+    };
+    build_subtree(dim, data, items, lo, split, left_slot, leaf_size, nodes, rng, depth + 1);
+    build_subtree(dim, data, items, split, hi, right_slot, leaf_size, nodes, rng, depth + 1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExactStore;
+    use seesaw_linalg::random_unit_vector;
+
+    fn random_data(n: usize, dim: usize, seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = Vec::with_capacity(n * dim);
+        for _ in 0..n {
+            data.extend_from_slice(&random_unit_vector(&mut rng, dim));
+        }
+        data
+    }
+
+    #[test]
+    fn finds_exact_match_at_top() {
+        let data = random_data(500, 16, 1);
+        let forest = RpForest::build(16, data.clone(), RpForestConfig::default());
+        let q = data[37 * 16..38 * 16].to_vec();
+        let hits = forest.top_k(&q, 5);
+        assert_eq!(hits[0].id, 37, "self-query must return itself first");
+    }
+
+    #[test]
+    fn recall_against_exact_store() {
+        let data = random_data(2000, 24, 2);
+        let exact = ExactStore::new(24, data.clone());
+        let forest = RpForest::build(
+            24,
+            data,
+            RpForestConfig {
+                n_trees: 16,
+                search_k: 1200,
+                ..Default::default()
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut hits_found = 0usize;
+        let mut total = 0usize;
+        for _ in 0..20 {
+            let q = random_unit_vector(&mut rng, 24);
+            let truth: Vec<u32> = exact.top_k(&q, 10).iter().map(|h| h.id).collect();
+            let approx: Vec<u32> = forest.top_k(&q, 10).iter().map(|h| h.id).collect();
+            total += truth.len();
+            hits_found += truth.iter().filter(|id| approx.contains(id)).count();
+        }
+        let recall = hits_found as f64 / total as f64;
+        assert!(recall > 0.85, "recall {recall}");
+    }
+
+    #[test]
+    fn filter_is_respected() {
+        let data = random_data(300, 8, 4);
+        let forest = RpForest::build(8, data.clone(), RpForestConfig::default());
+        let q = data[10 * 8..11 * 8].to_vec();
+        let hits = forest.top_k_filtered(&q, 5, &|id| id % 2 == 0);
+        assert!(!hits.is_empty());
+        assert!(hits.iter().all(|h| h.id % 2 == 0));
+    }
+
+    #[test]
+    fn search_k_increases_candidate_coverage() {
+        let data = random_data(3000, 16, 5);
+        let exact = ExactStore::new(16, data.clone());
+        let forest = RpForest::build(
+            16,
+            data,
+            RpForestConfig {
+                n_trees: 8,
+                ..Default::default()
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut small_recall = 0.0;
+        let mut large_recall = 0.0;
+        for _ in 0..10 {
+            let q = random_unit_vector(&mut rng, 16);
+            let truth: Vec<u32> = exact.top_k(&q, 10).iter().map(|h| h.id).collect();
+            let small: Vec<u32> = forest
+                .top_k_with_search_k(&q, 10, 64, &|_| true)
+                .iter()
+                .map(|h| h.id)
+                .collect();
+            let large: Vec<u32> = forest
+                .top_k_with_search_k(&q, 10, 2500, &|_| true)
+                .iter()
+                .map(|h| h.id)
+                .collect();
+            small_recall += truth.iter().filter(|t| small.contains(t)).count() as f64;
+            large_recall += truth.iter().filter(|t| large.contains(t)).count() as f64;
+        }
+        assert!(
+            large_recall >= small_recall,
+            "larger search_k must not hurt recall ({large_recall} vs {small_recall})"
+        );
+        assert!(large_recall >= 85.0, "large budget recall {large_recall}/100");
+    }
+
+    #[test]
+    fn duplicate_vectors_do_not_break_building() {
+        let mut data = Vec::new();
+        for _ in 0..200 {
+            data.extend_from_slice(&[1.0f32, 0.0, 0.0, 0.0]);
+        }
+        let forest = RpForest::build(4, data, RpForestConfig::default());
+        let hits = forest.top_k(&[1.0, 0.0, 0.0, 0.0], 3);
+        assert_eq!(hits.len(), 3);
+        assert!((hits[0].score - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_store_returns_nothing() {
+        let forest = RpForest::build(4, vec![], RpForestConfig::default());
+        assert!(forest.top_k(&[1.0, 0.0, 0.0, 0.0], 5).is_empty());
+        assert!(forest.is_empty());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = random_data(400, 8, 7);
+        let cfg = RpForestConfig::default();
+        let f1 = RpForest::build(8, data.clone(), cfg.clone());
+        let f2 = RpForest::build(8, data.clone(), cfg);
+        let q = random_unit_vector(&mut StdRng::seed_from_u64(8), 8);
+        assert_eq!(f1.top_k(&q, 7), f2.top_k(&q, 7));
+    }
+}

@@ -1,0 +1,68 @@
+//! Vector stores for maximum-inner-product search (paper §2.2).
+//!
+//! SeeSaw uses Annoy: an *approximate* store is acceptable because "even
+//! if the exact result were returned, there is already error inherent to
+//! the embedding representation". This crate provides:
+//!
+//! * [`ExactStore`] — a brute-force scan, the accuracy reference;
+//! * [`RpForest`] — an Annoy-style forest of random-projection trees
+//!   (split by the midplane of two sampled points; query with a shared
+//!   priority queue across trees; exact re-rank of the candidate union).
+//!
+//! Both implement [`VectorStore`], and both support filtered queries so
+//! the engine can exclude already-shown images (Listing 1 never repeats
+//! results).
+
+pub mod annoy;
+pub mod exact;
+#[cfg(test)]
+mod proptests;
+pub mod recall;
+
+pub use annoy::{RpForest, RpForestConfig};
+pub use exact::ExactStore;
+pub use recall::recall_at_k;
+
+/// A scored hit: item id plus its inner product with the query.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Hit {
+    /// Item (vector) id.
+    pub id: u32,
+    /// Inner product with the query.
+    pub score: f32,
+}
+
+/// Maximum-inner-product top-k interface shared by exact and
+/// approximate stores.
+pub trait VectorStore {
+    /// Number of indexed vectors.
+    fn len(&self) -> usize;
+
+    /// True when the store is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Vector dimensionality.
+    fn dim(&self) -> usize;
+
+    /// Top-`k` items by inner product with `query`, among items for
+    /// which `keep` returns true. Results are sorted by descending
+    /// score; ties broken by ascending id for determinism.
+    fn top_k_filtered(&self, query: &[f32], k: usize, keep: &dyn Fn(u32) -> bool) -> Vec<Hit>;
+
+    /// Unfiltered top-`k`.
+    fn top_k(&self, query: &[f32], k: usize) -> Vec<Hit> {
+        self.top_k_filtered(query, k, &|_| true)
+    }
+}
+
+/// Deterministically sort hits: descending score, ascending id.
+pub(crate) fn sort_hits(hits: &mut [Hit]) {
+    hits.sort_unstable_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.id.cmp(&b.id))
+    });
+}

@@ -1,0 +1,78 @@
+//! Property-based tests: the approximate store's contract against the
+//! exact scan for arbitrary data.
+
+#![cfg(test)]
+
+use crate::{ExactStore, Hit, RpForest, RpForestConfig, VectorStore};
+use proptest::prelude::*;
+
+fn flat_unit_vectors(n: usize, dim: usize, seed: u64) -> Vec<f32> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n * dim);
+    for _ in 0..n {
+        out.extend_from_slice(&seesaw_linalg::random_unit_vector(&mut rng, dim));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn forest_results_are_sorted_unique_and_correctly_scored(
+        n in 10usize..300,
+        seed in 0u64..500,
+        k in 1usize..12,
+    ) {
+        let dim = 12;
+        let data = flat_unit_vectors(n, dim, seed);
+        let forest = RpForest::build(dim, data.clone(), RpForestConfig::default());
+        let q = &data[..dim]; // first vector as the query
+        let hits = forest.top_k(q, k);
+        prop_assert!(hits.len() <= k);
+        // Sorted descending, ids unique, scores exact.
+        for w in hits.windows(2) {
+            prop_assert!(w[0].score >= w[1].score);
+            prop_assert!(w[0].id != w[1].id);
+        }
+        for h in &hits {
+            let v = &data[h.id as usize * dim..(h.id as usize + 1) * dim];
+            let true_score = seesaw_linalg::dot(q, v);
+            prop_assert!((h.score - true_score).abs() < 1e-5);
+        }
+        // Self-query must return itself first (it is in some leaf).
+        prop_assert_eq!(hits[0].id, 0);
+    }
+
+    #[test]
+    fn full_budget_forest_equals_exact(
+        n in 5usize..120,
+        seed in 500u64..900,
+    ) {
+        let dim = 8;
+        let data = flat_unit_vectors(n, dim, seed);
+        let exact = ExactStore::new(dim, data.clone());
+        let forest = RpForest::build(dim, data.clone(), RpForestConfig::default());
+        let q = &data[(n - 1) * dim..]; // last vector as the query
+        let truth: Vec<Hit> = exact.top_k(q, 5);
+        let approx = forest.top_k_with_search_k(q, 5, n, &|_| true);
+        let t_ids: Vec<u32> = truth.iter().map(|h| h.id).collect();
+        let a_ids: Vec<u32> = approx.iter().map(|h| h.id).collect();
+        prop_assert_eq!(t_ids, a_ids, "full-budget forest must equal exact scan");
+    }
+
+    #[test]
+    fn filter_never_leaks(
+        n in 10usize..150,
+        seed in 0u64..200,
+        modulus in 2u32..5,
+    ) {
+        let dim = 8;
+        let data = flat_unit_vectors(n, dim, seed);
+        let forest = RpForest::build(dim, data.clone(), RpForestConfig::default());
+        let hits = forest.top_k_filtered(&data[..dim], 6, &|id| id % modulus == 0);
+        prop_assert!(hits.iter().all(|h| h.id % modulus == 0));
+    }
+}

@@ -1,0 +1,67 @@
+//! Quickstart: generate a small dataset, preprocess it, and run one
+//! interactive SeeSaw search with simulated box feedback.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use seesaw::prelude::*;
+
+fn main() {
+    // 1. A small COCO-like dataset: 80 categories, web-style images.
+    //    (`0.002` scales the paper's 120 000 images down to 240.)
+    let dataset = DatasetSpec::coco_like(0.002).generate(42);
+    println!(
+        "dataset: {} — {} images, {} benchmark queries",
+        dataset.name,
+        dataset.n_images(),
+        dataset.queries().len()
+    );
+
+    // 2. One-time preprocessing (paper §2.4): multiscale tiling, patch
+    //    embeddings, the Annoy-style vector store, the kNN graph, and
+    //    the database-alignment matrix M_D.
+    let index = Preprocessor::new(PreprocessConfig::fast()).build(&dataset);
+    println!(
+        "index: {} patch vectors over {} images (multiscale = {})",
+        index.n_patches(),
+        index.n_images(),
+        index.multiscale
+    );
+
+    // 3. Pick a query and run the interactive loop of Listing 1: text
+    //    query → lookup → show → box feedback → align → repeat.
+    let query = dataset.queries()[0];
+    let concept = query.concept;
+    println!(
+        "\nsearching for concept {concept} ({} relevant images)",
+        query.n_relevant
+    );
+
+    let mut session = Session::start(&index, &dataset, concept, MethodConfig::seesaw());
+    let user = SimulatedUser::new(&dataset);
+
+    let mut found = 0usize;
+    let mut shown = 0usize;
+    while found < 10 && shown < 60 {
+        let batch = session.next_batch(1);
+        let Some(&image) = batch.first() else { break };
+        shown += 1;
+        let feedback = user.annotate(image, concept);
+        if feedback.relevant {
+            found += 1;
+            println!(
+                "  #{shown:>2}: image {image} — RELEVANT ({} boxes) → query realigned",
+                feedback.boxes.len()
+            );
+        } else {
+            println!("  #{shown:>2}: image {image} — not relevant");
+        }
+        session.feedback(feedback);
+    }
+    println!("\nfound {found} relevant images in {shown} shown");
+
+    // 4. How much did feedback move the query off the CLIP text vector?
+    let drift = seesaw::linalg::cosine(session.q0(), session.current_query());
+    println!("cosine(q0, aligned query) = {drift:.3}");
+}

@@ -1,0 +1,86 @@
+//! The "server layer" of Fig. 3 in action: one [`Engine`] serving many
+//! concurrent user sessions over a shared preprocessed index — each
+//! user searching a different concept with a different method, from its
+//! own thread.
+//!
+//! ```sh
+//! cargo run --release --example search_server
+//! ```
+
+use seesaw::core::{Engine, SessionId};
+use seesaw::prelude::*;
+
+fn main() {
+    let dataset = DatasetSpec::lvis_like(0.003).with_max_queries(12).generate(11);
+    let index = Preprocessor::new(PreprocessConfig::fast()).build(&dataset);
+    let engine = Engine::new(&index, &dataset);
+    let user = SimulatedUser::new(&dataset);
+    println!(
+        "engine over {} images ({} patch vectors); {} available queries\n",
+        index.n_images(),
+        index.n_patches(),
+        dataset.queries().len()
+    );
+
+    // Six concurrent "users", alternating methods.
+    let assignments: Vec<(u32, &str, MethodConfig)> = dataset
+        .queries()
+        .iter()
+        .take(6)
+        .enumerate()
+        .map(|(i, q)| {
+            if i % 2 == 0 {
+                (q.concept, "seesaw", MethodConfig::seesaw())
+            } else {
+                (q.concept, "zero-shot", MethodConfig::zero_shot())
+            }
+        })
+        .collect();
+
+    let results: Vec<(u32, &str, SessionId, usize, usize)> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = assignments
+                .iter()
+                .map(|(concept, method_name, cfg)| {
+                    let engine = &engine;
+                    let user = &user;
+                    let cfg = cfg.clone();
+                    let concept = *concept;
+                    let method_name = *method_name;
+                    scope.spawn(move || {
+                        let id = engine.create_session(concept, cfg);
+                        let mut found = 0usize;
+                        let mut shown = 0usize;
+                        while found < 5 && shown < 40 {
+                            let Some(batch) = engine.next_batch(id, 2) else { break };
+                            if batch.is_empty() {
+                                break;
+                            }
+                            for img in batch {
+                                shown += 1;
+                                let fb = user.annotate(img, concept);
+                                if fb.relevant {
+                                    found += 1;
+                                }
+                                engine.feedback(id, fb);
+                            }
+                        }
+                        (concept, method_name, id, found, shown)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+    println!(
+        "{:<10} {:<10} {:>6} {:>6} {:>10}",
+        "concept", "method", "found", "shown", "drift"
+    );
+    println!("{}", "-".repeat(46));
+    for (concept, method, id, found, shown) in results {
+        let drift = engine.stats(id).map(|s| s.query_drift).unwrap_or(f32::NAN);
+        println!("{concept:<10} {method:<10} {found:>6} {shown:>6} {drift:>10.3}");
+        engine.close(id);
+    }
+    println!("\nlive sessions after cleanup: {}", engine.live_sessions());
+}

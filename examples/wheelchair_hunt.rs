@@ -1,0 +1,96 @@
+//! The paper's motivating scenario (§1): an autonomous-vehicle engineer
+//! hunts for a *rare, small* object — "people in wheelchairs" — in a
+//! BDD-style dash-cam corpus, where "using CLIP alone requires looking
+//! through more than 100 images before the first wheelchair is found".
+//!
+//! This example finds the rarest hard category in a BDD-like dataset
+//! and compares how quickly zero-shot CLIP vs full SeeSaw surface 10
+//! examples, printing the running tally side by side.
+//!
+//! ```sh
+//! cargo run --release --example wheelchair_hunt
+//! ```
+
+use seesaw::prelude::*;
+
+fn main() {
+    // A BDD-like dataset: 1280×720 frames, small objects, rare classes.
+    let dataset = DatasetSpec::bdd_like(0.01).generate(7);
+    let index = Preprocessor::new(PreprocessConfig::fast()).build(&dataset);
+    println!(
+        "bdd-like: {} images → {} multiscale patch vectors",
+        dataset.n_images(),
+        index.n_patches()
+    );
+
+    // "Wheelchair": the rarest benchmark query with a hard alignment
+    // deficit — worst case for zero-shot CLIP.
+    let wheelchair = dataset
+        .queries()
+        .iter()
+        .filter(|q| dataset.model.spec(q.concept).deficit_angle > 0.8)
+        .min_by_key(|q| q.n_relevant)
+        .or_else(|| dataset.queries().iter().min_by_key(|q| q.n_relevant))
+        .copied()
+        .expect("dataset has queries");
+    println!(
+        "'wheelchair' stand-in: concept {} — {} relevant images of {} ({:.2}%), \
+         text-alignment deficit {:.2} rad\n",
+        wheelchair.concept,
+        wheelchair.n_relevant,
+        dataset.n_images(),
+        100.0 * wheelchair.n_relevant as f64 / dataset.n_images() as f64,
+        dataset.model.spec(wheelchair.concept).deficit_angle
+    );
+
+    let budget = 120;
+    let user = SimulatedUser::new(&dataset);
+    let mut tallies: Vec<(&str, Vec<usize>)> = Vec::new();
+    for (name, cfg) in [
+        ("zero-shot CLIP", MethodConfig::zero_shot()),
+        ("SeeSaw", MethodConfig::seesaw()),
+    ] {
+        let mut session = Session::start(&index, &dataset, wheelchair.concept, cfg);
+        let mut found = 0usize;
+        let mut tally = Vec::with_capacity(budget);
+        for _ in 0..budget {
+            let Some(&img) = session.next_batch(1).first() else { break };
+            let fb = user.annotate(img, wheelchair.concept);
+            if fb.relevant {
+                found += 1;
+            }
+            session.feedback(fb);
+            tally.push(found);
+            if found >= 10 {
+                break;
+            }
+        }
+        tallies.push((name, tally));
+    }
+
+    println!("images inspected → wheelchairs found");
+    println!("{:>8} {:>16} {:>10}", "shown", "zero-shot CLIP", "SeeSaw");
+    let longest = tallies.iter().map(|(_, t)| t.len()).max().unwrap_or(0);
+    for i in (0..longest).step_by(5).chain([longest.saturating_sub(1)]) {
+        let cell = |t: &Vec<usize>| -> String {
+            t.get(i)
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| format!("done@{}", t.len()))
+        };
+        println!(
+            "{:>8} {:>16} {:>10}",
+            i + 1,
+            cell(&tallies[0].1),
+            cell(&tallies[1].1)
+        );
+    }
+    for (name, tally) in &tallies {
+        let found = tally.last().copied().unwrap_or(0);
+        println!(
+            "{name}: {} relevant in {} images{}",
+            found,
+            tally.len(),
+            if found >= 10 { " — task complete" } else { "" }
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! # SeeSaw — interactive ad-hoc search over image databases
+//!
+//! A from-scratch Rust reproduction of *SeeSaw: Interactive Ad-hoc Search
+//! Over Image Databases* (Moll, Favela, Madden, Gadepally, Cafarella —
+//! SIGMOD 2023, arXiv:2208.06497).
+//!
+//! This facade crate re-exports the public API of every subsystem:
+//!
+//! * [`linalg`] — dense/sparse kernels shared by everything below.
+//! * [`optim`] — L-BFGS, logistic regression, Platt scaling.
+//! * [`embed`] — the synthetic visual-semantic embedding model that
+//!   substitutes for CLIP (see `DESIGN.md` §1 for the substitution
+//!   argument).
+//! * [`dataset`] — synthetic labeled datasets mirroring COCO / LVIS /
+//!   ObjectNet / BDD.
+//! * [`vecstore`] — Annoy-style random-projection-forest vector store.
+//! * [`knn`] — NN-descent kNN graphs and label propagation.
+//! * [`aligner`] — the paper's contribution: the query-alignment loss
+//!   (CLIP alignment + database alignment) and its L-BFGS solve.
+//! * [`baselines`] — Rocchio, few-shot CLIP, and Efficient Nonmyopic
+//!   Search.
+//! * [`core`] — multiscale tiling, the preprocessing pipeline, and the
+//!   interactive [`core::Session`] implementing Listing 1 of the paper.
+//! * [`metrics`] — the paper's Average Precision protocol and summary
+//!   statistics.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use seesaw::prelude::*;
+//!
+//! // A small BDD-like dataset (street scenes, rare small objects).
+//! let dataset = DatasetSpec::bdd_like(0.001).generate(7);
+//! let index = Preprocessor::new(PreprocessConfig::fast()).build(&dataset);
+//!
+//! // Interactive loop: text query, then box feedback (Listing 1).
+//! let mut session = Session::start(
+//!     &index,
+//!     &dataset,
+//!     dataset.queries()[0].concept,
+//!     MethodConfig::seesaw(),
+//! );
+//! let user = SimulatedUser::new(&dataset);
+//! for _ in 0..5 {
+//!     let batch = session.next_batch(2);
+//!     for image in batch {
+//!         let feedback = user.annotate(image, session.concept());
+//!         session.feedback(feedback);
+//!     }
+//! }
+//! ```
+
+pub use seesaw_aligner as aligner;
+pub use seesaw_baselines as baselines;
+pub use seesaw_core as core;
+pub use seesaw_dataset as dataset;
+pub use seesaw_embed as embed;
+pub use seesaw_knn as knn;
+pub use seesaw_linalg as linalg;
+pub use seesaw_metrics as metrics;
+pub use seesaw_optim as optim;
+pub use seesaw_vecstore as vecstore;
+
+/// Everything a typical caller needs, in one import.
+pub mod prelude {
+    pub use seesaw_aligner::{AlignerConfig, QueryAligner};
+    pub use seesaw_baselines::{EnsConfig, RocchioConfig};
+    pub use seesaw_core::{
+        Feedback, Method, MethodConfig, PreprocessConfig, Preprocessor, Session, SimulatedUser,
+    };
+    pub use seesaw_dataset::{DatasetSpec, SyntheticDataset};
+    pub use seesaw_embed::EmbeddingModel;
+    pub use seesaw_metrics::{average_precision, BenchmarkProtocol};
+}

@@ -1,0 +1,126 @@
+//! End-to-end pipeline tests: every dataset preset goes through
+//! generation → preprocessing → interactive search, and the artifacts
+//! satisfy the invariants each paper section relies on.
+
+use seesaw::core::run_benchmark_query;
+use seesaw::prelude::*;
+
+fn small_suite() -> Vec<SyntheticDataset> {
+    DatasetSpec::paper_suite(0.002)
+        .into_iter()
+        .map(|s| s.with_max_queries(8).generate(17))
+        .collect()
+}
+
+#[test]
+fn every_preset_builds_and_searches() {
+    for ds in small_suite() {
+        let index = Preprocessor::new(PreprocessConfig::fast()).build(&ds);
+        assert!(index.n_patches() >= ds.n_images(), "{}", ds.name);
+        assert!(index.m_d.is_some(), "{}: M_D missing", ds.name);
+        let q = ds.queries()[0];
+        let proto = BenchmarkProtocol::default();
+        let out = run_benchmark_query(&index, &ds, q.concept, MethodConfig::seesaw(), &proto);
+        assert!(out.trace.shown() > 0, "{}: nothing shown", ds.name);
+        assert!((0.0..=1.0).contains(&out.ap), "{}: AP {}", ds.name, out.ap);
+    }
+}
+
+#[test]
+fn all_methods_complete_on_one_dataset() {
+    let ds = DatasetSpec::coco_like(0.002).with_max_queries(8).generate(23);
+    let index = Preprocessor::new(PreprocessConfig::fast()).build(&ds);
+    let proto = BenchmarkProtocol::default();
+    let q = ds.queries()[0];
+    let methods: Vec<(&str, MethodConfig)> = vec![
+        ("zero-shot", MethodConfig::zero_shot()),
+        ("few-shot", MethodConfig::seesaw_few_shot()),
+        ("rocchio", MethodConfig::rocchio()),
+        ("ens", MethodConfig::ens(60)),
+        ("seesaw-clip", MethodConfig::seesaw_clip_only()),
+        ("seesaw-full", MethodConfig::seesaw()),
+        ("seesaw-prop", MethodConfig::seesaw_prop()),
+    ];
+    for (name, cfg) in methods {
+        let out = run_benchmark_query(&index, &ds, q.concept, cfg, &proto);
+        assert!(
+            out.trace.shown() > 0 && out.trace.shown() <= proto.image_budget,
+            "{name}: bad trace length {}",
+            out.trace.shown()
+        );
+        assert!(
+            out.iteration_seconds.iter().all(|&s| s >= 0.0),
+            "{name}: negative latency"
+        );
+    }
+}
+
+#[test]
+fn multiscale_patch_counts_match_tiling_math() {
+    // BDD frames are 1280×720 → 1 coarse + 18 fine = 19 patches/image.
+    let ds = DatasetSpec::bdd_like(0.001).generate(2);
+    let index = Preprocessor::new(PreprocessConfig::fast()).build(&ds);
+    assert_eq!(index.n_patches(), ds.n_images() * 19);
+    // ObjectNet images are 224² → coarse only.
+    let ds = DatasetSpec::objectnet_like(0.002).generate(2);
+    let index = Preprocessor::new(PreprocessConfig::fast()).build(&ds);
+    assert_eq!(index.n_patches(), ds.n_images());
+}
+
+#[test]
+fn index_is_deterministic_across_rebuilds() {
+    let ds = DatasetSpec::lvis_like(0.001).with_max_queries(5).generate(5);
+    let a = Preprocessor::new(PreprocessConfig::fast()).build(&ds);
+    let b = Preprocessor::new(PreprocessConfig::fast()).build(&ds);
+    assert_eq!(a.embeddings, b.embeddings);
+    assert_eq!(a.coarse_patches, b.coarse_patches);
+    let proto = BenchmarkProtocol::default();
+    let q = ds.queries()[0];
+    let ra = run_benchmark_query(&a, &ds, q.concept, MethodConfig::seesaw(), &proto);
+    let rb = run_benchmark_query(&b, &ds, q.concept, MethodConfig::seesaw(), &proto);
+    assert_eq!(ra.trace, rb.trace);
+}
+
+#[test]
+fn annoy_store_tracks_exact_scan_accuracy() {
+    // §2.2: "only a minor drop in accuracy metrics … using Annoy vs an
+    // exact but slow scan". Compare recall@10 of the forest against the
+    // exact store over the built index.
+    use seesaw::vecstore::{recall_at_k, ExactStore};
+    let ds = DatasetSpec::coco_like(0.002).generate(9);
+    let index = Preprocessor::new(PreprocessConfig::fast()).build(&ds);
+    let exact = ExactStore::new(index.dim, index.embeddings.as_slice().to_vec());
+    let queries: Vec<Vec<f32>> = ds
+        .queries()
+        .iter()
+        .take(10)
+        .map(|q| ds.model.embed_text(q.concept))
+        .collect();
+    let recall = recall_at_k(&exact, &index.store, &queries, 10);
+    assert!(recall > 0.8, "forest recall@10 = {recall}");
+}
+
+#[test]
+fn feedback_labels_follow_box_overlap() {
+    // §4.3: patches overlapping user boxes are positives; others are
+    // negatives. Drive a session and check the example labels directly
+    // via the query's movement: an all-negative image must not create
+    // positive evidence (query stays anchored).
+    let ds = DatasetSpec::bdd_like(0.001).generate(13);
+    let index = Preprocessor::new(PreprocessConfig::fast()).build(&ds);
+    let concept = ds.queries()[0].concept;
+    let user = SimulatedUser::new(&ds);
+    let mut session = Session::start(&index, &ds, concept, MethodConfig::seesaw());
+    for _ in 0..6 {
+        let batch = session.next_batch(1);
+        let Some(&img) = batch.first() else { break };
+        let fb = user.annotate(img, concept);
+        // Feedback for a relevant image must carry at least one box.
+        if fb.relevant {
+            assert!(!fb.boxes.is_empty());
+        }
+        session.feedback(fb);
+    }
+    let norm = seesaw::linalg::l2_norm(session.current_query());
+    assert!((norm - 1.0).abs() < 1e-3, "query norm {norm}");
+}
