@@ -252,8 +252,7 @@ mod tests {
                 rotate_toward(&concept, &n, 0.15)
             })
             .collect();
-        let negatives: Vec<Vec<f32>> =
-            (0..4).map(|_| random_unit_vector(&mut rng, dim)).collect();
+        let negatives: Vec<Vec<f32>> = (0..4).map(|_| random_unit_vector(&mut rng, dim)).collect();
         let mut examples: Vec<&[f32]> = positives.iter().map(|v| v.as_slice()).collect();
         examples.extend(negatives.iter().map(|v| v.as_slice()));
         let labels = vec![true, true, true, true, false, false, false, false];
@@ -356,8 +355,7 @@ mod tests {
             lambda_d: 200.0,
             ..base_cfg.clone()
         };
-        let without =
-            QueryAligner::new(&q0, base_cfg).align(&[edge_pos.as_slice()], &[true]);
+        let without = QueryAligner::new(&q0, base_cfg).align(&[edge_pos.as_slice()], &[true]);
         let with = QueryAligner::new(&q0, with_db_cfg)
             .with_db_matrix(m_d)
             .align(&[edge_pos.as_slice()], &[true]);

@@ -170,7 +170,9 @@ impl EnsSearcher {
             .max()
             .unwrap_or(0);
         let snapshot_len = (m + maxdeg + 2).min(self.n_unlabeled);
-        let mut order: Vec<u32> = (0..n as u32).filter(|&i| self.labels[i as usize] < 0).collect();
+        let mut order: Vec<u32> = (0..n as u32)
+            .filter(|&i| self.labels[i as usize] < 0)
+            .collect();
         order.sort_unstable_by(|&a, &b| {
             post[b as usize]
                 .partial_cmp(&post[a as usize])

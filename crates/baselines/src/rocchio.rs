@@ -88,7 +88,11 @@ impl Rocchio {
             add_scaled(&mut q, self.config.beta / self.n_pos as f32, &self.pos_sum);
         }
         if self.n_neg > 0 {
-            add_scaled(&mut q, -self.config.gamma / self.n_neg as f32, &self.neg_sum);
+            add_scaled(
+                &mut q,
+                -self.config.gamma / self.n_neg as f32,
+                &self.neg_sum,
+            );
         }
         let out = normalized(&q);
         if out.iter().all(|&v| v == 0.0) {

@@ -12,13 +12,18 @@ use seesaw_metrics::{average_precision, BenchmarkProtocol, SearchTrace, TableBui
 
 fn main() {
     let scale = 0.01 * seesaw_bench::env_f64("SEESAW_SCALE", 1.0);
-    let ds = DatasetSpec::objectnet_like(scale).with_max_queries(20).generate(bench_seed());
+    let ds = DatasetSpec::objectnet_like(scale)
+        .with_max_queries(20)
+        .generate(bench_seed());
     let idx = Preprocessor::new(PreprocessConfig::fast()).build(&ds);
     let proto = BenchmarkProtocol::default();
     let user = SimulatedUser::new(&ds);
 
-    let mut table = TableBuilder::new("SeeSaw mAP vs feedback batch size")
-        .header(["batch", "mAP", "mean solves/query"]);
+    let mut table = TableBuilder::new("SeeSaw mAP vs feedback batch size").header([
+        "batch",
+        "mAP",
+        "mean solves/query",
+    ]);
 
     for batch in [1usize, 3, 10, 30] {
         let mut aps = Vec::new();

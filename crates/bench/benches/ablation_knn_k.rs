@@ -12,11 +12,16 @@ use seesaw_metrics::{BenchmarkProtocol, TableBuilder};
 
 fn main() {
     let scale = 0.01 * seesaw_bench::env_f64("SEESAW_SCALE", 1.0);
-    let ds = DatasetSpec::lvis_like(scale).with_max_queries(20).generate(bench_seed());
+    let ds = DatasetSpec::lvis_like(scale)
+        .with_max_queries(20)
+        .generate(bench_seed());
     let proto = BenchmarkProtocol::default();
 
-    let mut table = TableBuilder::new("SeeSaw mAP vs kNN-graph degree k (LVIS-like)")
-        .header(["k", "mAP (full SeeSaw)", "mAP (λD = 0)"]);
+    let mut table = TableBuilder::new("SeeSaw mAP vs kNN-graph degree k (LVIS-like)").header([
+        "k",
+        "mAP (full SeeSaw)",
+        "mAP (λD = 0)",
+    ]);
 
     for k in [5usize, 10, 20] {
         eprintln!("[ablation_knn_k] building index with k = {k}…");
@@ -24,7 +29,12 @@ fn main() {
         cfg.knn_k = k;
         let idx = Preprocessor::new(cfg).build(&ds);
         let full = ap_per_query(&idx, &ds, &|_, _, _| MethodConfig::seesaw(), &proto);
-        let no_db = ap_per_query(&idx, &ds, &|_, _, _| MethodConfig::seesaw_clip_only(), &proto);
+        let no_db = ap_per_query(
+            &idx,
+            &ds,
+            &|_, _, _| MethodConfig::seesaw_clip_only(),
+            &proto,
+        );
         table.row([
             k.to_string(),
             format!("{:.3}", mean_ap(&full)),

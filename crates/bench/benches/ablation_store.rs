@@ -18,7 +18,9 @@ use seesaw_vecstore::{ExactStore, VectorStore};
 
 fn main() {
     let scale = 0.01 * seesaw_bench::env_f64("SEESAW_SCALE", 1.0);
-    let ds = DatasetSpec::lvis_like(scale).with_max_queries(20).generate(bench_seed());
+    let ds = DatasetSpec::lvis_like(scale)
+        .with_max_queries(20)
+        .generate(bench_seed());
     let idx = Preprocessor::new(PreprocessConfig::fast()).build(&ds);
     let exact = ExactStore::new(idx.dim, idx.embeddings.as_slice().to_vec());
     let proto = BenchmarkProtocol::default();
@@ -61,8 +63,8 @@ fn main() {
     println!("{recall_table}");
 
     // --- end-to-end mAP vs search_k ----------------------------------
-    let mut ap_table = TableBuilder::new("SeeSaw mAP vs store accuracy budget")
-        .header(["search_k", "mAP"]);
+    let mut ap_table =
+        TableBuilder::new("SeeSaw mAP vs store accuracy budget").header(["search_k", "mAP"]);
     for search_k in [256usize, 1024, 4096, 8192, usize::MAX] {
         let aps = ap_per_query(
             &idx,

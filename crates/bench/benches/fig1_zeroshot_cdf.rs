@@ -22,14 +22,29 @@ fn main() {
     );
     let proto = BenchmarkProtocol::default();
 
-    let mut summary = TableBuilder::new("Figure 1 — zero-shot CLIP AP distribution")
-        .header(["dataset", "queries", "hard frac", "hard n", "paper frac"]);
-    let paper = [("lvis-like", 0.38), ("objectnet-like", 0.33), ("coco-like", 0.06), ("bdd-like", 0.25)];
+    let mut summary = TableBuilder::new("Figure 1 — zero-shot CLIP AP distribution").header([
+        "dataset",
+        "queries",
+        "hard frac",
+        "hard n",
+        "paper frac",
+    ]);
+    let paper = [
+        ("lvis-like", 0.38),
+        ("objectnet-like", 0.33),
+        ("coco-like", 0.06),
+        ("bdd-like", 0.25),
+    ];
 
     for b in &built {
         let idx = b.coarse.as_ref().unwrap();
         eprintln!("[fig1] {}…", b.dataset.name);
-        let aps = ap_per_query(idx, &b.dataset, &|_, _, _| MethodConfig::zero_shot(), &proto);
+        let aps = ap_per_query(
+            idx,
+            &b.dataset,
+            &|_, _, _| MethodConfig::zero_shot(),
+            &proto,
+        );
         let frac = fraction_below(&aps, 0.5);
         let n_hard = aps.iter().filter(|&&a| a < 0.5).count();
         let paper_frac = paper

@@ -77,8 +77,7 @@ fn main() {
         .map(|(_, &ap)| ap)
         .collect();
 
-    let mut t = TableBuilder::new("Figure 4 — summary")
-        .header(["statistic", "measured", "paper"]);
+    let mut t = TableBuilder::new("Figure 4 — summary").header(["statistic", "measured", "paper"]);
     t.row([
         "median ideal AP".to_string(),
         format!("{:.2}", median(&ideal_aps)),

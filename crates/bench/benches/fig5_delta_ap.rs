@@ -15,11 +15,17 @@ use seesaw_metrics::{quantile, BenchmarkProtocol, TableBuilder};
 
 fn delta_row(table: &mut TableBuilder, label: &str, deltas: &[f64]) {
     if deltas.is_empty() {
-        table.row([label.to_string(), "n/a".into(), "".into(), "".into(), "".into(), "".into()]);
+        table.row([
+            label.to_string(),
+            "n/a".into(),
+            "".into(),
+            "".into(),
+            "".into(),
+            "".into(),
+        ]);
         return;
     }
-    let non_regressed =
-        deltas.iter().filter(|&&d| d >= -1e-9).count() as f64 / deltas.len() as f64;
+    let non_regressed = deltas.iter().filter(|&&d| d >= -1e-9).count() as f64 / deltas.len() as f64;
     table.row([
         label.to_string(),
         format!("{:.2}", quantile(deltas, 0.0)),
@@ -28,7 +34,10 @@ fn delta_row(table: &mut TableBuilder, label: &str, deltas: &[f64]) {
         format!("{:.2}", quantile(deltas, 0.9)),
         format!("{:.2}", quantile(deltas, 1.0)),
     ]);
-    println!("  {label}: {:.0}% of queries improved or unchanged", non_regressed * 100.0);
+    println!(
+        "  {label}: {:.0}% of queries improved or unchanged",
+        non_regressed * 100.0
+    );
 }
 
 fn main() {
@@ -43,22 +52,30 @@ fn main() {
     let built = build_indexes(&specs, needs);
     let proto = BenchmarkProtocol::default();
 
-    let mut table = TableBuilder::new(
-        "Figure 5 — ΔAP (SeeSaw multiscale − zero-shot coarse) quantiles",
-    )
-    .header(["dataset/subset", "min", "p10", "median", "p90", "max"]);
+    let mut table =
+        TableBuilder::new("Figure 5 — ΔAP (SeeSaw multiscale − zero-shot coarse) quantiles")
+            .header(["dataset/subset", "min", "p10", "median", "p90", "max"]);
 
     for b in &built {
         eprintln!("[fig5] {}…", b.dataset.name);
         let coarse = b.coarse.as_ref().unwrap();
         let multi = b.multiscale.as_ref().unwrap();
-        let zs = ap_per_query(coarse, &b.dataset, &|_, _, _| MethodConfig::zero_shot(), &proto);
+        let zs = ap_per_query(
+            coarse,
+            &b.dataset,
+            &|_, _, _| MethodConfig::zero_shot(),
+            &proto,
+        );
         let ss = ap_per_query(multi, &b.dataset, &|_, _, _| MethodConfig::seesaw(), &proto);
         let deltas: Vec<f64> = ss.iter().zip(zs.iter()).map(|(s, z)| s - z).collect();
         let hard = hard_subset(&zs);
         let hard_deltas = select_hard(&deltas, &hard);
         delta_row(&mut table, &format!("{} (all)", b.dataset.name), &deltas);
-        delta_row(&mut table, &format!("{} (hard)", b.dataset.name), &hard_deltas);
+        delta_row(
+            &mut table,
+            &format!("{} (hard)", b.dataset.name),
+            &hard_deltas,
+        );
     }
 
     println!("\n{table}");

@@ -42,7 +42,12 @@ fn main() {
     let mut tasks: Vec<(String, bool, &seesaw_bench::BuiltDataset, u32)> = Vec::new();
     for b in &built {
         let coarse = b.coarse.as_ref().unwrap();
-        let zs = ap_per_query(coarse, &b.dataset, &|_, _, _| MethodConfig::zero_shot(), &rank_proto);
+        let zs = ap_per_query(
+            coarse,
+            &b.dataset,
+            &|_, _, _| MethodConfig::zero_shot(),
+            &rank_proto,
+        );
         let eligible: Vec<usize> = (0..zs.len())
             .filter(|&i| b.dataset.queries()[i].n_relevant >= 10)
             .collect();
@@ -58,43 +63,63 @@ fn main() {
             .min_by(|&&a, &&b| zs[a].partial_cmp(&zs[b]).unwrap())
             .unwrap();
         tasks.push((
-            format!("{}/easy q{}", b.dataset.name, b.dataset.queries()[easiest].concept),
+            format!(
+                "{}/easy q{}",
+                b.dataset.name,
+                b.dataset.queries()[easiest].concept
+            ),
             true,
             b,
             b.dataset.queries()[easiest].concept,
         ));
         tasks.push((
-            format!("{}/hard q{}", b.dataset.name, b.dataset.queries()[hardest].concept),
+            format!(
+                "{}/hard q{}",
+                b.dataset.name,
+                b.dataset.queries()[hardest].concept
+            ),
             false,
             b,
             b.dataset.queries()[hardest].concept,
         ));
     }
 
-    let mut table = TableBuilder::new("Figure 6 — time to find 10 results (s), 360 s cap")
-        .header(["query", "CLIP med", "CLIP 95% CI", "SeeSaw med", "SeeSaw 95% CI"]);
+    let mut table =
+        TableBuilder::new("Figure 6 — time to find 10 results (s), 360 s cap").header([
+            "query",
+            "CLIP med",
+            "CLIP 95% CI",
+            "SeeSaw med",
+            "SeeSaw 95% CI",
+        ]);
 
     for (label, _easy, b, concept) in &tasks {
         eprintln!("[fig6] {label}…");
         let multi = b.multiscale.as_ref().unwrap();
-        let base_run =
-            run_benchmark_query(multi, &b.dataset, *concept, MethodConfig::zero_shot(), &proto);
+        let base_run = run_benchmark_query(
+            multi,
+            &b.dataset,
+            *concept,
+            MethodConfig::zero_shot(),
+            &proto,
+        );
         let ss_run =
             run_benchmark_query(multi, &b.dataset, *concept, MethodConfig::seesaw(), &proto);
 
-        let times = |run: &seesaw_core::RunOutcome, model: &AnnotationModel, salt: u64| -> Vec<f64> {
-            (0..n_users)
-                .map(|u| {
-                    simulate_task_time(
-                        &run.trace,
-                        &run.iteration_seconds,
-                        model,
-                        &sim,
-                        0xf16 ^ salt ^ (u as u64) << 8,
-                    )
-                })
-                .collect()
-        };
+        let times =
+            |run: &seesaw_core::RunOutcome, model: &AnnotationModel, salt: u64| -> Vec<f64> {
+                (0..n_users)
+                    .map(|u| {
+                        simulate_task_time(
+                            &run.trace,
+                            &run.iteration_seconds,
+                            model,
+                            &sim,
+                            0xf16 ^ salt ^ (u as u64) << 8,
+                        )
+                    })
+                    .collect()
+            };
         let base_times = times(&base_run, &AnnotationModel::baseline(), 1);
         let ss_times = times(&ss_run, &AnnotationModel::seesaw(), 2);
         let (blo, _, bhi) = bootstrap_mean_ci(&base_times, 0.95, 400, 11);

@@ -38,8 +38,7 @@ fn bench_aligner_solve(c: &mut Criterion) {
         b.iter(|| aligner.align(&examples, &labels))
     });
     c.bench_function("aligner_solve_60_examples_full", |b| {
-        let aligner =
-            QueryAligner::new(&q0, AlignerConfig::default()).with_db_matrix(m_d.clone());
+        let aligner = QueryAligner::new(&q0, AlignerConfig::default()).with_db_matrix(m_d.clone());
         b.iter(|| aligner.align(&examples, &labels))
     });
 }
@@ -52,7 +51,9 @@ fn bench_vector_store(c: &mut Criterion) {
     let q = random_unit_vector(&mut rng, DIM);
 
     c.bench_function("store_exact_top10_20k", |b| b.iter(|| exact.top_k(&q, 10)));
-    c.bench_function("store_rpforest_top10_20k", |b| b.iter(|| forest.top_k(&q, 10)));
+    c.bench_function("store_rpforest_top10_20k", |b| {
+        b.iter(|| forest.top_k(&q, 10))
+    });
 }
 
 fn bench_knn_graph(c: &mut Criterion) {
@@ -83,7 +84,10 @@ fn bench_ens_select(c: &mut Criterion) {
                     &graph,
                     SigmaRule::SelfTuning(1.0),
                     priors.clone(),
-                    &EnsConfig { prior_weight: 1.0, horizon: 60 },
+                    &EnsConfig {
+                        prior_weight: 1.0,
+                        horizon: 60,
+                    },
                 );
                 s.observe(0, true);
                 s.observe(1, false);

@@ -48,16 +48,33 @@ fn main() {
         ("+DB align", true, MethodConfig::seesaw),
     ];
 
-    let mut all_table = TableBuilder::new("Table 2 — all queries (mean AP)")
-        .header(["optimization", "LVIS", "ObjNet", "COCO", "BDD", "avg."]);
-    let mut hard_table = TableBuilder::new("Table 2 — hard subset (mean AP)")
-        .header(["optimization", "LVIS", "ObjNet", "COCO", "BDD", "avg."]);
+    let mut all_table = TableBuilder::new("Table 2 — all queries (mean AP)").header([
+        "optimization",
+        "LVIS",
+        "ObjNet",
+        "COCO",
+        "BDD",
+        "avg.",
+    ]);
+    let mut hard_table = TableBuilder::new("Table 2 — hard subset (mean AP)").header([
+        "optimization",
+        "LVIS",
+        "ObjNet",
+        "COCO",
+        "BDD",
+        "avg.",
+    ]);
 
     // Per dataset: zero-shot (coarse) APs define the hard subset.
     let mut hard_sets = Vec::new();
     for b in &built {
         let coarse = b.coarse.as_ref().unwrap();
-        let zs = ap_per_query(coarse, &b.dataset, &|_, _, _| MethodConfig::zero_shot(), &proto);
+        let zs = ap_per_query(
+            coarse,
+            &b.dataset,
+            &|_, _, _| MethodConfig::zero_shot(),
+            &proto,
+        );
         hard_sets.push(hard_subset(&zs));
     }
 

@@ -55,7 +55,12 @@ fn main() {
     let mut hard_sets = Vec::new();
     for b in &built {
         let coarse = b.coarse.as_ref().unwrap();
-        let zs = ap_per_query(coarse, &b.dataset, &|_, _, _| MethodConfig::zero_shot(), &proto);
+        let zs = ap_per_query(
+            coarse,
+            &b.dataset,
+            &|_, _, _| MethodConfig::zero_shot(),
+            &proto,
+        );
         hard_sets.push(hard_subset(&zs));
     }
 

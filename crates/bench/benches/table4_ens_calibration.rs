@@ -60,10 +60,9 @@ fn main() {
                                 .map(|i| dataset.truth.is_relevant(concept, i))
                                 .collect();
                             match PlattScaler::fit(&scores, &labels) {
-                                Some(platt) => MethodConfig::ens_calibrated(
-                                    t,
-                                    platt.calibrate_all(&scores),
-                                ),
+                                Some(platt) => {
+                                    MethodConfig::ens_calibrated(t, platt.calibrate_all(&scores))
+                                }
                                 None => MethodConfig::ens(t),
                             }
                         } else {
@@ -76,7 +75,15 @@ fn main() {
             }
             cells.push(per_dataset.iter().sum::<f64>() / per_dataset.len() as f64);
         }
-        table.num_row(if calibrated { "calibrated γ_i" } else { "raw γ_i" }, &cells, 2);
+        table.num_row(
+            if calibrated {
+                "calibrated γ_i"
+            } else {
+                "raw γ_i"
+            },
+            &cells,
+            2,
+        );
     }
 
     println!("{table}");

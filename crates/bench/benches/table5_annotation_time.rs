@@ -42,11 +42,28 @@ fn main() {
     let users = 40; // 20 grad students + 20 MTurk workers in the paper
     let per_user = 60;
 
-    let mut table = TableBuilder::new("Table 5 — user annotation time (s) per image")
-        .header(["condition", "baseline", "seesaw", "paper base", "paper ss"]);
+    let mut table = TableBuilder::new("Table 5 — user annotation time (s) per image").header([
+        "condition",
+        "baseline",
+        "seesaw",
+        "paper base",
+        "paper ss",
+    ]);
     let rows = [
-        ("not marked", AnnotationModel::baseline().not_marked, AnnotationModel::seesaw().not_marked, "1.98 ± .10", "2.40 ± .19"),
-        ("marked relevant", AnnotationModel::baseline().marked, AnnotationModel::seesaw().marked, "3.00 ± .28", "4.40 ± .45"),
+        (
+            "not marked",
+            AnnotationModel::baseline().not_marked,
+            AnnotationModel::seesaw().not_marked,
+            "1.98 ± .10",
+            "2.40 ± .19",
+        ),
+        (
+            "marked relevant",
+            AnnotationModel::baseline().marked,
+            AnnotationModel::seesaw().marked,
+            "3.00 ± .28",
+            "4.40 ± .45",
+        ),
     ];
     for (i, (label, base_mean, ss_mean, paper_b, paper_s)) in rows.iter().enumerate() {
         let base = sample_condition(*base_mean, users, per_user, seed ^ i as u64);

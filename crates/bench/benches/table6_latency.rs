@@ -47,10 +47,10 @@ fn main() {
     let n_queries = 5;
     let horizon = proto.image_budget;
 
-    let mut table = TableBuilder::new(
-        "Table 6 — median per-iteration latency (s) vs database size",
-    )
-    .header(["dataset", "vectors", "CLIP", "ENS", "Rocchio", "SeeSaw", "prop."]);
+    let mut table =
+        TableBuilder::new("Table 6 — median per-iteration latency (s) vs database size").header([
+            "dataset", "vectors", "CLIP", "ENS", "Rocchio", "SeeSaw", "prop.",
+        ]);
 
     // Paper row order: ObjNet−, BDD−, COCO−, BDD, COCO (coarse rows
     // first, then multiscale; LVIS shares COCO's database).
@@ -73,7 +73,8 @@ fn main() {
             b.coarse.as_ref().unwrap()
         };
         eprintln!("[table6] {name}{}…", if multiscale { "" } else { "−" });
-        let clip = median_iteration_seconds(idx, &b.dataset, MethodConfig::zero_shot, &proto, n_queries);
+        let clip =
+            median_iteration_seconds(idx, &b.dataset, MethodConfig::zero_shot, &proto, n_queries);
         let ens = if multiscale {
             None // paper: ENS is only implemented for coarse embeddings
         } else {
@@ -100,7 +101,8 @@ fn main() {
             format!("{name}{}", if multiscale { "" } else { "−" }),
             format!("{}", idx.n_patches()),
             format!("{clip:.4}"),
-            ens.map(|v| format!("{v:.4}")).unwrap_or_else(|| "NA".into()),
+            ens.map(|v| format!("{v:.4}"))
+                .unwrap_or_else(|| "NA".into()),
             format!("{rocchio:.4}"),
             format!("{seesaw:.4}"),
             format!("{prop:.4}"),

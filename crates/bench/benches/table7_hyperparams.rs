@@ -51,7 +51,12 @@ fn main() {
         let mut vals = Vec::new();
         for b in &built {
             let idx = b.multiscale.as_ref().unwrap();
-            let aps = ap_per_query(idx, &b.dataset, &|_, _, _| MethodConfig::zero_shot(), &proto);
+            let aps = ap_per_query(
+                idx,
+                &b.dataset,
+                &|_, _, _| MethodConfig::zero_shot(),
+                &proto,
+            );
             vals.push(mean_ap(&aps));
         }
         vals.iter().sum::<f64>() / vals.len() as f64
@@ -76,7 +81,10 @@ fn main() {
                 },
                 &proto,
             );
-            per.insert(b.dataset.name.as_str().split('-').next().unwrap_or(""), mean_ap(&aps));
+            per.insert(
+                b.dataset.name.as_str().split('-').next().unwrap_or(""),
+                mean_ap(&aps),
+            );
         }
         let bdd = per.get("bdd").copied().unwrap_or(f64::NAN);
         let coco = per.get("coco").copied().unwrap_or(f64::NAN);

@@ -7,7 +7,9 @@ use seesaw_dataset::DatasetSpec;
 use seesaw_vecstore::{ExactStore, RpForest, RpForestConfig, VectorStore};
 
 fn main() {
-    let ds = DatasetSpec::lvis_like(0.01).with_max_queries(20).generate(bench_seed());
+    let ds = DatasetSpec::lvis_like(0.01)
+        .with_max_queries(20)
+        .generate(bench_seed());
     let mut cfg = PreprocessConfig::fast();
     cfg.build_db_matrix = false;
     cfg.build_propagation = false;

@@ -37,7 +37,10 @@ fn probe(spec: DatasetSpec) {
         let concept = ds.queries()[hq].concept;
         let user = SimulatedUser::new(&ds);
         let mut s = Session::start(&idx, &ds, concept, MethodConfig::seesaw());
-        println!("movement trace for hard concept {concept} (deficit {:.2}):", ds.model.spec(concept).deficit_angle);
+        println!(
+            "movement trace for hard concept {concept} (deficit {:.2}):",
+            ds.model.spec(concept).deficit_angle
+        );
         for round in 0..30 {
             let batch = s.next_batch(1);
             let Some(&img) = batch.first() else { break };
@@ -58,7 +61,10 @@ fn probe(spec: DatasetSpec) {
 
     // Hyperparameter sweep on the hard subset.
     println!("\nsweep (coarse, hard subset of {} queries):", hard.len());
-    println!("{:>8} {:>8} {:>8} | {:>7} {:>7}", "lambda", "l_c", "l_d", "mAP", "hard");
+    println!(
+        "{:>8} {:>8} {:>8} | {:>7} {:>7}",
+        "lambda", "l_c", "l_d", "mAP", "hard"
+    );
     for (l, lc, ld) in [
         (1.0, 1.0, 0.0),
         (1.0, 0.5, 0.0),

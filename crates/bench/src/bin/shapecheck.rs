@@ -2,7 +2,9 @@
 //! orderings before running the full table benches. Developer tool, not
 //! a paper artifact.
 
-use seesaw_bench::{ap_per_query, bench_suite, build_indexes, hard_subset, mean_ap, select_hard, IndexNeeds};
+use seesaw_bench::{
+    ap_per_query, bench_suite, build_indexes, hard_subset, mean_ap, select_hard, IndexNeeds,
+};
 use seesaw_core::MethodConfig;
 use seesaw_metrics::BenchmarkProtocol;
 
@@ -18,15 +20,32 @@ fn main() {
     let built = build_indexes(&specs, needs);
     let proto = BenchmarkProtocol::default();
 
-    println!("dataset        idx    n_img n_patch  zshot  fshot  qalign seesaw | hard: zs fs qa ss (n)");
+    println!(
+        "dataset        idx    n_img n_patch  zshot  fshot  qalign seesaw | hard: zs fs qa ss (n)"
+    );
     for b in &built {
         for (label, idx) in [
             ("coarse", b.coarse.as_ref().unwrap()),
             ("multi", b.multiscale.as_ref().unwrap()),
         ] {
-            let zs = ap_per_query(idx, &b.dataset, &|_, _, _| MethodConfig::zero_shot(), &proto);
-            let fs = ap_per_query(idx, &b.dataset, &|_, _, _| MethodConfig::seesaw_few_shot(), &proto);
-            let qa = ap_per_query(idx, &b.dataset, &|_, _, _| MethodConfig::seesaw_clip_only(), &proto);
+            let zs = ap_per_query(
+                idx,
+                &b.dataset,
+                &|_, _, _| MethodConfig::zero_shot(),
+                &proto,
+            );
+            let fs = ap_per_query(
+                idx,
+                &b.dataset,
+                &|_, _, _| MethodConfig::seesaw_few_shot(),
+                &proto,
+            );
+            let qa = ap_per_query(
+                idx,
+                &b.dataset,
+                &|_, _, _| MethodConfig::seesaw_clip_only(),
+                &proto,
+            );
             let ss = ap_per_query(idx, &b.dataset, &|_, _, _| MethodConfig::seesaw(), &proto);
             let hard = hard_subset(&zs);
             println!(

@@ -98,7 +98,11 @@ pub fn simulate_task_time(
         if !latencies.is_empty() {
             t += latencies[i % latencies.len()];
         }
-        let mean = if relevant { model.marked } else { model.not_marked };
+        let mean = if relevant {
+            model.marked
+        } else {
+            model.not_marked
+        };
         t += mean * user_speed * image_noise.sample(&mut rng);
         if t >= cfg.deadline {
             return cfg.deadline;

@@ -104,7 +104,9 @@ mod tests {
     use seesaw_dataset::DatasetSpec;
 
     fn setup() -> (SyntheticDataset, DatasetIndex) {
-        let ds = DatasetSpec::coco_like(0.001).with_max_queries(6).generate(77);
+        let ds = DatasetSpec::coco_like(0.001)
+            .with_max_queries(6)
+            .generate(77);
         let idx = Preprocessor::new(PreprocessConfig::fast()).build(&ds);
         (ds, idx)
     }
@@ -143,7 +145,11 @@ mod tests {
         assert!(engine.stats(ghost).is_none());
         assert!(!engine.feedback(
             ghost,
-            Feedback { image: 0, relevant: false, boxes: vec![] }
+            Feedback {
+                image: 0,
+                relevant: false,
+                boxes: vec![]
+            }
         ));
     }
 
@@ -152,15 +158,17 @@ mod tests {
         let (ds, idx) = setup();
         let engine = Engine::new(&idx, &ds);
         let user = SimulatedUser::new(&ds);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for q in ds.queries().iter().take(4) {
                 let engine = &engine;
                 let user = &user;
                 let concept = q.concept;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let id = engine.create_session(concept, MethodConfig::seesaw());
                     for _ in 0..4 {
-                        let Some(batch) = engine.next_batch(id, 1) else { break };
+                        let Some(batch) = engine.next_batch(id, 1) else {
+                            break;
+                        };
                         for img in batch {
                             engine.feedback(id, user.annotate(img, concept));
                         }
@@ -169,8 +177,7 @@ mod tests {
                     assert_eq!(stats.images_shown, 4);
                 });
             }
-        })
-        .unwrap();
+        });
         assert_eq!(engine.live_sessions(), 4);
     }
 }

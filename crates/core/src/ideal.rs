@@ -61,7 +61,9 @@ mod tests {
     fn ideal_vector_beats_misaligned_text_query() {
         // Fig. 4's core claim: for concepts with high locality but poor
         // alignment, the ideal vector far outperforms q0.
-        let ds = DatasetSpec::objectnet_like(0.004).with_max_queries(0).generate(17);
+        let ds = DatasetSpec::objectnet_like(0.004)
+            .with_max_queries(0)
+            .generate(17);
         let idx = Preprocessor::new(PreprocessConfig::fast().coarse_only()).build(&ds);
         let proto = BenchmarkProtocol::default();
         // The most misaligned, tightly clustered query.
@@ -81,8 +83,7 @@ mod tests {
         let ideal = ideal_query_vector(&idx, &ds, q.concept);
         let out_ideal =
             run_benchmark_query(&idx, &ds, q.concept, MethodConfig::fixed(ideal), &proto);
-        let out_zero =
-            run_benchmark_query(&idx, &ds, q.concept, MethodConfig::zero_shot(), &proto);
+        let out_zero = run_benchmark_query(&idx, &ds, q.concept, MethodConfig::zero_shot(), &proto);
         assert!(
             out_ideal.ap >= out_zero.ap,
             "ideal {} must be at least zero-shot {}",

@@ -32,9 +32,9 @@ pub mod tiling;
 pub mod user;
 
 pub use engine::{Engine, SessionId, SessionStats};
-pub use persist::{load_embeddings, save_embeddings};
 pub use ideal::ideal_query_vector;
 pub use index::{DatasetIndex, PatchMeta};
+pub use persist::{load_embeddings, save_embeddings};
 pub use preprocess::{PreprocessConfig, Preprocessor};
 pub use runner::{run_benchmark_query, RunOutcome};
 pub use session::{Method, MethodConfig, Session};

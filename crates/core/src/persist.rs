@@ -131,7 +131,9 @@ mod tests {
 
     #[test]
     fn roundtrip_preserves_embeddings_and_search() {
-        let ds = DatasetSpec::coco_like(0.001).with_max_queries(5).generate(3);
+        let ds = DatasetSpec::coco_like(0.001)
+            .with_max_queries(5)
+            .generate(3);
         let cfg = PreprocessConfig::fast();
         let index = Preprocessor::new(cfg.clone()).build(&ds);
         let dir = std::env::temp_dir().join("seesaw-persist-test");

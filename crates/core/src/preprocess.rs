@@ -141,7 +141,9 @@ impl Preprocessor {
         let mut embeddings = vec![0.0f32; n_patches * dim];
         {
             let threads = if cfg.threads == 0 {
-                std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4)
+                std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(4)
             } else {
                 cfg.threads
             };
@@ -157,16 +159,17 @@ impl Preprocessor {
                 rest = tail;
             }
             let seed = cfg.seed;
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 let images = &dataset.images;
                 for (t, chunk_slices) in slices.chunks_mut(chunk).enumerate() {
                     let lo = t * chunk;
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         for (off, out) in chunk_slices.iter_mut().enumerate() {
                             let img = &images[lo + off];
                             // Deterministic per-image noise stream.
-                            let mut rng =
-                                StdRng::seed_from_u64(seed ^ (img.id as u64).wrapping_mul(0x9e37_79b9));
+                            let mut rng = StdRng::seed_from_u64(
+                                seed ^ (img.id as u64).wrapping_mul(0x9e37_79b9),
+                            );
                             let boxes = if cfg.multiscale {
                                 tile_boxes(img.width, img.height, cfg.min_patch_px)
                             } else {
@@ -180,8 +183,7 @@ impl Preprocessor {
                         }
                     });
                 }
-            })
-            .expect("embedding workers must not panic");
+            });
         }
 
         rebuild_from_embeddings(
@@ -292,7 +294,9 @@ mod tests {
     use seesaw_linalg::l2_norm;
 
     fn small_dataset() -> SyntheticDataset {
-        DatasetSpec::coco_like(0.001).with_max_queries(10).generate(11)
+        DatasetSpec::coco_like(0.001)
+            .with_max_queries(10)
+            .generate(11)
     }
 
     #[test]
@@ -326,7 +330,10 @@ mod tests {
         let pre = Preprocessor::new(PreprocessConfig::fast());
         let a = pre.build(&ds);
         let b = pre.build(&ds);
-        assert_eq!(a.embeddings, b.embeddings, "preprocessing must be deterministic");
+        assert_eq!(
+            a.embeddings, b.embeddings,
+            "preprocessing must be deterministic"
+        );
         for p in 0..a.n_patches().min(50) {
             let norm = l2_norm(a.embeddings.row(p));
             assert!((norm - 1.0).abs() < 1e-3, "patch {p} norm {norm}");

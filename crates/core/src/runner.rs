@@ -76,7 +76,9 @@ mod tests {
 
     #[test]
     fn run_respects_protocol_limits() {
-        let ds = DatasetSpec::coco_like(0.001).with_max_queries(10).generate(31);
+        let ds = DatasetSpec::coco_like(0.001)
+            .with_max_queries(10)
+            .generate(31);
         let idx = Preprocessor::new(PreprocessConfig::fast()).build(&ds);
         let proto = BenchmarkProtocol::default();
         let q = ds.queries()[0];
@@ -90,7 +92,9 @@ mod tests {
     #[test]
     fn easy_query_yields_high_ap_for_zero_shot() {
         // A concept with near-zero alignment deficit must be easy.
-        let ds = DatasetSpec::coco_like(0.002).with_max_queries(0).generate(7);
+        let ds = DatasetSpec::coco_like(0.002)
+            .with_max_queries(0)
+            .generate(7);
         let idx = Preprocessor::new(PreprocessConfig::fast()).build(&ds);
         let proto = BenchmarkProtocol::default();
         // Pick the easiest eligible query (smallest deficit angle).

@@ -90,17 +90,26 @@ pub struct MethodConfig {
 impl MethodConfig {
     /// Zero-shot CLIP.
     pub fn zero_shot() -> Self {
-        Self { method: Method::ZeroShot, search_k: 8192 }
+        Self {
+            method: Method::ZeroShot,
+            search_k: 8192,
+        }
     }
 
     /// A fixed caller-supplied query vector.
     pub fn fixed(v: Vec<f32>) -> Self {
-        Self { method: Method::FixedVector(v), search_k: 8192 }
+        Self {
+            method: Method::FixedVector(v),
+            search_k: 8192,
+        }
     }
 
     /// Few-shot CLIP (Eq. 1).
     pub fn few_shot() -> Self {
-        Self { method: Method::FewShot, search_k: 8192 }
+        Self {
+            method: Method::FewShot,
+            search_k: 8192,
+        }
     }
 
     /// Rocchio with the paper's β = .5, γ = .25.
@@ -262,7 +271,11 @@ impl<'a> Session<'a> {
                 q0.clone(),
             ),
             Method::Rocchio(cfg) => (State::Rocchio(Rocchio::new(&q0, cfg)), q0.clone()),
-            Method::Ens { horizon, priors, sigma } => {
+            Method::Ens {
+                horizon,
+                priors,
+                sigma,
+            } => {
                 let graph = index
                     .coarse_graph
                     .as_ref()
@@ -298,7 +311,11 @@ impl<'a> Session<'a> {
                 }
                 (State::Aligner(aligner), q0.clone())
             }
-            Method::SeeSawBlind { aligner, assume_top, pseudo_weight } => {
+            Method::SeeSawBlind {
+                aligner,
+                assume_top,
+                pseudo_weight,
+            } => {
                 let mut a = QueryAligner::new(&q0, aligner);
                 if a.config().lambda_d > 0.0 {
                     if let Some(md) = &index.m_d {
@@ -314,7 +331,11 @@ impl<'a> Session<'a> {
                 pseudo_w = pseudo_weight.max(0.0);
                 (State::Aligner(a), q0.clone())
             }
-            Method::SeeSawProp { aligner, prop, fit_sample } => (
+            Method::SeeSawProp {
+                aligner,
+                prop,
+                fit_sample,
+            } => (
                 State::Prop {
                     aligner,
                     prop,
@@ -396,8 +417,8 @@ impl<'a> Session<'a> {
                 let seen = &self.seen;
                 for _ in 0..n {
                     let picked: &[ImageId] = &out;
-                    let pick = searcher
-                        .select_next_excluding(|i| picked.contains(&i) || seen[i as usize]);
+                    let pick =
+                        searcher.select_next_excluding(|i| picked.contains(&i) || seen[i as usize]);
                     match pick {
                         Some(i) => out.push(i),
                         None => break,
@@ -514,7 +535,12 @@ impl<'a> Session<'a> {
                     );
                 }
             }
-            State::Prop { aligner, prop, fit_sample, round } => {
+            State::Prop {
+                aligner,
+                prop,
+                fit_sample,
+                round,
+            } => {
                 *round += 1;
                 self.query = prop_align(
                     self.index,
@@ -619,7 +645,9 @@ mod tests {
     use seesaw_dataset::DatasetSpec;
 
     fn setup() -> (SyntheticDataset, DatasetIndex) {
-        let ds = DatasetSpec::coco_like(0.001).with_max_queries(10).generate(21);
+        let ds = DatasetSpec::coco_like(0.001)
+            .with_max_queries(10)
+            .generate(21);
         let idx = Preprocessor::new(PreprocessConfig::fast()).build(&ds);
         (ds, idx)
     }
@@ -748,7 +776,10 @@ mod tests {
         assert!(drift < 0.99999, "blind bootstrap had no effect: {drift}");
         assert!((seesaw_linalg::l2_norm(blind.current_query()) - 1.0).abs() < 1e-3);
         // …but only mildly: the CLIP anchor holds.
-        assert!(drift > 0.5, "blind bootstrap overpowered the anchor: {drift}");
+        assert!(
+            drift > 0.5,
+            "blind bootstrap overpowered the anchor: {drift}"
+        );
     }
 
     #[test]

@@ -309,8 +309,8 @@ impl DatasetSpec {
             seed: seed ^ 0x00e1_13ed,
         });
 
-        let zipf = Zipf::new(self.n_concepts as u64, self.zipf_exponent)
-            .expect("valid zipf parameters");
+        let zipf =
+            Zipf::new(self.n_concepts as u64, self.zipf_exponent).expect("valid zipf parameters");
         let poisson = Poisson::new(self.mean_objects.max(1e-9)).expect("valid poisson mean");
 
         let mut images = Vec::with_capacity(self.n_images);
@@ -327,7 +327,11 @@ impl DatasetSpec {
             for _ in 0..n_objects {
                 let concept = (zipf.sample(&mut rng) as u32).saturating_sub(1);
                 let modes = model.n_modes(concept);
-                let mode = if modes > 1 { rng.gen_range(0..modes) } else { 0 };
+                let mode = if modes > 1 {
+                    rng.gen_range(0..modes)
+                } else {
+                    0
+                };
                 let side =
                     min_dim * rng.gen_range(self.object_size_range.0..=self.object_size_range.1);
                 let aspect: f32 = rng.gen_range(0.75..1.33);

@@ -53,7 +53,9 @@ impl GroundTruth {
 
     /// Whether `image` contains `concept`.
     pub fn is_relevant(&self, concept: ConceptId, image: ImageId) -> bool {
-        self.per_concept[concept as usize].binary_search(&image).is_ok()
+        self.per_concept[concept as usize]
+            .binary_search(&image)
+            .is_ok()
     }
 
     /// Pick benchmark queries: all concepts with at least `min_instances`

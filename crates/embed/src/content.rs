@@ -75,8 +75,18 @@ mod tests {
     fn object_share_sums() {
         let p = PatchContent {
             objects: vec![
-                ObjectPresence { concept: 0, mode: 0, instance: 0, share: 0.25 },
-                ObjectPresence { concept: 1, mode: 0, instance: 0, share: 0.5 },
+                ObjectPresence {
+                    concept: 0,
+                    mode: 0,
+                    instance: 0,
+                    share: 0.25,
+                },
+                ObjectPresence {
+                    concept: 1,
+                    mode: 0,
+                    instance: 0,
+                    share: 0.5,
+                },
             ],
             context: 0,
             clutter: 0.25,

@@ -161,8 +161,7 @@ impl EmbeddingModel {
         for _ in 0..cfg.contexts.max(1) {
             context_rows.extend_from_slice(&random_unit_vector(&mut rng, cfg.dim));
         }
-        let context_dirs =
-            DenseMatrix::from_vec(cfg.contexts.max(1), cfg.dim, context_rows);
+        let context_dirs = DenseMatrix::from_vec(cfg.contexts.max(1), cfg.dim, context_rows);
 
         Self {
             dim: cfg.dim,
@@ -273,8 +272,7 @@ impl EmbeddingModel {
             let dir = self.instance_direction(obj.concept, obj.mode, obj.instance);
             add_scaled(&mut acc, weight, &dir);
         }
-        let clutter_w =
-            content.clutter.clamp(0.0, 1.0).powf(self.salience) * self.clutter_strength;
+        let clutter_w = content.clutter.clamp(0.0, 1.0).powf(self.salience) * self.clutter_strength;
         if clutter_w > 0.0 {
             let ctx = self
                 .context_dirs
@@ -322,7 +320,12 @@ mod tests {
 
     fn patch(concept: ConceptId, share: f32) -> PatchContent {
         PatchContent {
-            objects: vec![ObjectPresence { concept, mode: 0, instance: 0, share }],
+            objects: vec![ObjectPresence {
+                concept,
+                mode: 0,
+                instance: 0,
+                share,
+            }],
             context: 0,
             clutter: 1.0 - share,
         }
@@ -340,7 +343,11 @@ mod tests {
     #[test]
     fn zero_deficit_text_equals_concept_direction() {
         let m = model_with(vec![
-            ConceptSpec { deficit_angle: 0.0, modes: 1, mode_spread: 0.0 };
+            ConceptSpec {
+                deficit_angle: 0.0,
+                modes: 1,
+                mode_spread: 0.0
+            };
             3
         ]);
         let t = m.embed_text(1);
@@ -351,7 +358,11 @@ mod tests {
     fn deficit_angle_is_realized() {
         for angle in [0.3f32, 0.8, 1.2] {
             let m = model_with(vec![
-                ConceptSpec { deficit_angle: angle, modes: 1, mode_spread: 0.0 };
+                ConceptSpec {
+                    deficit_angle: angle,
+                    modes: 1,
+                    mode_spread: 0.0
+                };
                 6
             ]);
             let t = m.embed_text(0);
@@ -363,7 +374,11 @@ mod tests {
     #[test]
     fn misaligned_text_points_toward_confuser() {
         let m = model_with(vec![
-            ConceptSpec { deficit_angle: 1.4, modes: 1, mode_spread: 0.0 };
+            ConceptSpec {
+                deficit_angle: 1.4,
+                modes: 1,
+                mode_spread: 0.0
+            };
             8
         ]);
         let t = m.embed_text(3);
@@ -417,11 +432,19 @@ mod tests {
     #[test]
     fn locality_modes_spread_the_cluster() {
         let tight = model_with(vec![
-            ConceptSpec { deficit_angle: 0.1, modes: 1, mode_spread: 0.0 };
+            ConceptSpec {
+                deficit_angle: 0.1,
+                modes: 1,
+                mode_spread: 0.0
+            };
             3
         ]);
         let diffuse = model_with(vec![
-            ConceptSpec { deficit_angle: 0.1, modes: 3, mode_spread: 1.2 };
+            ConceptSpec {
+                deficit_angle: 0.1,
+                modes: 3,
+                mode_spread: 1.2
+            };
             3
         ]);
         assert_eq!(tight.n_modes(0), 1);
@@ -455,7 +478,11 @@ mod tests {
         });
         let mut rng = StdRng::seed_from_u64(0);
         let v = m.embed_patch(
-            &PatchContent { objects: vec![], context: 0, clutter: 0.0 },
+            &PatchContent {
+                objects: vec![],
+                context: 0,
+                clutter: 0.0,
+            },
             &mut rng,
         );
         assert!((l2_norm(&v) - 1.0).abs() < 1e-5);

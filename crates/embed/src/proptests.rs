@@ -12,7 +12,11 @@ fn model(n_concepts: usize, jitter: f32, seed: u64) -> EmbeddingModel {
     EmbeddingModel::build(&EmbedConfig {
         dim: 48,
         concepts: vec![
-            ConceptSpec { deficit_angle: 0.4, modes: 2, mode_spread: 0.5 };
+            ConceptSpec {
+                deficit_angle: 0.4,
+                modes: 2,
+                mode_spread: 0.5
+            };
             n_concepts
         ],
         contexts: 3,

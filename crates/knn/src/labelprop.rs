@@ -46,7 +46,11 @@ pub fn propagate_labels(
     labels: &[(u32, f32)],
     cfg: &LabelPropConfig,
 ) -> Vec<f32> {
-    assert_eq!(adjacency.rows(), adjacency.cols(), "adjacency must be square");
+    assert_eq!(
+        adjacency.rows(),
+        adjacency.cols(),
+        "adjacency must be square"
+    );
     let n = adjacency.rows();
     let mut y = vec![cfg.unlabeled_init; n];
     let mut clamped = vec![false; n];

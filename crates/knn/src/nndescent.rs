@@ -67,7 +67,12 @@ impl NeighborList {
             return false;
         }
         if self.entries.len() == self.cap
-            && cand.dist2 >= self.entries.last().map(|e| e.dist2).unwrap_or(f32::INFINITY)
+            && cand.dist2
+                >= self
+                    .entries
+                    .last()
+                    .map(|e| e.dist2)
+                    .unwrap_or(f32::INFINITY)
         {
             return false;
         }

@@ -80,8 +80,16 @@ pub fn gaussian_adjacency(graph: &KnnGraph, sigma: SigmaRule) -> CsrMatrix {
             if w <= 0.0 {
                 continue;
             }
-            triplets.push(Triplet { row: i as u32, col: j, val: w });
-            triplets.push(Triplet { row: j, col: i as u32, val: w });
+            triplets.push(Triplet {
+                row: i as u32,
+                col: j,
+                val: w,
+            });
+            triplets.push(Triplet {
+                row: j,
+                col: i as u32,
+                val: w,
+            });
         }
     }
     CsrMatrix::from_triplets(n, n, &triplets)
@@ -91,16 +99,28 @@ pub fn gaussian_adjacency(graph: &KnnGraph, sigma: SigmaRule) -> CsrMatrix {
 /// adjacency. `wᵀ (Xᵀ L X) w = Σ_ij w_ij (s_i − s_j)²/2` penalizes score
 /// variation across edges — the database-alignment regularizer.
 pub fn laplacian(adjacency: &CsrMatrix) -> CsrMatrix {
-    assert_eq!(adjacency.rows(), adjacency.cols(), "adjacency must be square");
+    assert_eq!(
+        adjacency.rows(),
+        adjacency.cols(),
+        "adjacency must be square"
+    );
     let n = adjacency.rows();
     let degrees = adjacency.row_sums();
     let mut triplets: Vec<Triplet> = Vec::with_capacity(adjacency.nnz() + n);
     for (i, &d) in degrees.iter().enumerate() {
         if d != 0.0 {
-            triplets.push(Triplet { row: i as u32, col: i as u32, val: d });
+            triplets.push(Triplet {
+                row: i as u32,
+                col: i as u32,
+                val: d,
+            });
         }
         for (j, w) in adjacency.row_iter(i) {
-            triplets.push(Triplet { row: i as u32, col: j, val: -w });
+            triplets.push(Triplet {
+                row: i as u32,
+                col: j,
+                val: -w,
+            });
         }
     }
     CsrMatrix::from_triplets(n, n, &triplets)

@@ -226,9 +226,21 @@ mod tests {
             2,
             3,
             &[
-                Triplet { row: 0, col: 2, val: 2.0 },
-                Triplet { row: 0, col: 0, val: 1.0 },
-                Triplet { row: 1, col: 1, val: 3.0 },
+                Triplet {
+                    row: 0,
+                    col: 2,
+                    val: 2.0,
+                },
+                Triplet {
+                    row: 0,
+                    col: 0,
+                    val: 1.0,
+                },
+                Triplet {
+                    row: 1,
+                    col: 1,
+                    val: 3.0,
+                },
             ],
         )
     }
@@ -247,8 +259,16 @@ mod tests {
             1,
             1,
             &[
-                Triplet { row: 0, col: 0, val: 1.5 },
-                Triplet { row: 0, col: 0, val: 2.5 },
+                Triplet {
+                    row: 0,
+                    col: 0,
+                    val: 1.5,
+                },
+                Triplet {
+                    row: 0,
+                    col: 0,
+                    val: 2.5,
+                },
             ],
         );
         assert_eq!(m.get(0, 0), 4.0);
@@ -274,10 +294,26 @@ mod tests {
             2,
             2,
             &[
-                Triplet { row: 0, col: 0, val: 2.0 },
-                Triplet { row: 0, col: 1, val: -1.0 },
-                Triplet { row: 1, col: 0, val: -1.0 },
-                Triplet { row: 1, col: 1, val: 2.0 },
+                Triplet {
+                    row: 0,
+                    col: 0,
+                    val: 2.0,
+                },
+                Triplet {
+                    row: 0,
+                    col: 1,
+                    val: -1.0,
+                },
+                Triplet {
+                    row: 1,
+                    col: 0,
+                    val: -1.0,
+                },
+                Triplet {
+                    row: 1,
+                    col: 1,
+                    val: 2.0,
+                },
             ],
         );
         let x = DenseMatrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
@@ -297,10 +333,26 @@ mod tests {
             3,
             3,
             &[
-                Triplet { row: 0, col: 0, val: 1.0 },
-                Triplet { row: 1, col: 1, val: 1.0 },
-                Triplet { row: 0, col: 1, val: -1.0 },
-                Triplet { row: 1, col: 0, val: -1.0 },
+                Triplet {
+                    row: 0,
+                    col: 0,
+                    val: 1.0,
+                },
+                Triplet {
+                    row: 1,
+                    col: 1,
+                    val: 1.0,
+                },
+                Triplet {
+                    row: 0,
+                    col: 1,
+                    val: -1.0,
+                },
+                Triplet {
+                    row: 1,
+                    col: 0,
+                    val: -1.0,
+                },
             ],
         );
         let x = DenseMatrix::from_vec(3, 2, vec![1.0, 2.0, 0.5, -1.0, 3.0, 3.0]);
@@ -321,15 +373,27 @@ mod tests {
             2,
             2,
             &[
-                Triplet { row: 0, col: 1, val: 2.0 },
-                Triplet { row: 1, col: 0, val: 2.0 },
+                Triplet {
+                    row: 0,
+                    col: 1,
+                    val: 2.0,
+                },
+                Triplet {
+                    row: 1,
+                    col: 0,
+                    val: 2.0,
+                },
             ],
         );
         assert_eq!(sym.max_asymmetry(), 0.0);
         let asym = CsrMatrix::from_triplets(
             2,
             2,
-            &[Triplet { row: 0, col: 1, val: 2.0 }],
+            &[Triplet {
+                row: 0,
+                col: 1,
+                val: 2.0,
+            }],
         );
         assert!(asym.max_asymmetry() > 1.9);
     }

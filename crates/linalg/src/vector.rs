@@ -208,10 +208,7 @@ mod tests {
         for angle in [0.1f32, 0.5, 1.0, std::f32::consts::FRAC_PI_2] {
             let rotated = rotate_toward(&from, &toward, angle);
             let got = dot(&rotated, &from).clamp(-1.0, 1.0).acos();
-            assert!(
-                (got - angle).abs() < 1e-4,
-                "angle {angle} produced {got}"
-            );
+            assert!((got - angle).abs() < 1e-4, "angle {angle} produced {got}");
         }
     }
 

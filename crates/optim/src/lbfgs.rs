@@ -286,7 +286,11 @@ fn wolfe_line_search<O: Objective>(
             );
         }
         if di.abs() <= -cfg.c2 * d_dot_g0 {
-            return Some(LineSearchResult { x, grad: g, value: fi });
+            return Some(LineSearchResult {
+                x,
+                grad: g,
+                value: fi,
+            });
         }
         if di >= 0.0 {
             return zoom(
@@ -485,7 +489,9 @@ mod tests {
         // log(1+e^{-x·t}) + 0.01‖x‖² in 64-d has a unique minimizer;
         // convergence within the default iteration budget mirrors the
         // aligner's regime.
-        let t: Vec<f64> = (0..64).map(|i| ((i * 37 + 11) % 13) as f64 / 13.0 - 0.5).collect();
+        let t: Vec<f64> = (0..64)
+            .map(|i| ((i * 37 + 11) % 13) as f64 / 13.0 - 0.5)
+            .collect();
         let tt = t.clone();
         let f = move |x: &[f64], g: &mut [f64]| -> f64 {
             let z: f64 = x.iter().zip(tt.iter()).map(|(a, b)| a * b).sum();

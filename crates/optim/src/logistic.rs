@@ -101,7 +101,11 @@ impl LogisticModel {
         let outcome = Lbfgs::new(config.solver.clone()).minimize(&objective, &mut params);
         Some(Self {
             weights: params[..dim].iter().map(|&v| v as f32).collect(),
-            bias: if config.fit_bias { params[dim] as f32 } else { 0.0 },
+            bias: if config.fit_bias {
+                params[dim] as f32
+            } else {
+                0.0
+            },
             loss: outcome.value,
             converged: outcome.converged,
         })
@@ -176,14 +180,20 @@ mod tests {
             2,
             &refs,
             &ys,
-            &LogisticConfig { l2: 0.01, ..Default::default() },
+            &LogisticConfig {
+                l2: 0.01,
+                ..Default::default()
+            },
         )
         .unwrap();
         let big = LogisticModel::fit(
             2,
             &refs,
             &ys,
-            &LogisticConfig { l2: 100.0, ..Default::default() },
+            &LogisticConfig {
+                l2: 100.0,
+                ..Default::default()
+            },
         )
         .unwrap();
         let norm = |w: &[f32]| w.iter().map(|v| v * v).sum::<f32>().sqrt();
@@ -224,7 +234,10 @@ mod tests {
         // The few-shot regime: one labeled point. w must align with it.
         let x = vec![0.6f32, 0.8];
         let refs: [&[f32]; 1] = [x.as_slice()];
-        let cfg = LogisticConfig { l2: 1.0, ..Default::default() };
+        let cfg = LogisticConfig {
+            l2: 1.0,
+            ..Default::default()
+        };
         let model = LogisticModel::fit(2, &refs, &[true], &cfg).unwrap();
         let cos = (model.weights[0] * 0.6 + model.weights[1] * 0.8)
             / model.weights.iter().map(|v| v * v).sum::<f32>().sqrt();
@@ -236,9 +249,16 @@ mod tests {
         let xs = [vec![1.0f32], vec![-1.0f32]];
         let refs: Vec<&[f32]> = xs.iter().map(|v| v.as_slice()).collect();
         let ys = vec![true, false];
-        let balanced =
-            LogisticModel::fit(1, &refs, &ys, &LogisticConfig { l2: 0.1, ..Default::default() })
-                .unwrap();
+        let balanced = LogisticModel::fit(
+            1,
+            &refs,
+            &ys,
+            &LogisticConfig {
+                l2: 0.1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let pos_heavy = LogisticModel::fit(
             1,
             &refs,

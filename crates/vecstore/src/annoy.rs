@@ -161,7 +161,12 @@ impl RpForest {
         let budget = search_k.max(k);
         let mut seen = vec![false; n];
         let mut candidates: Vec<u32> = Vec::with_capacity(budget.min(n));
-        while let Some(Entry { priority, tree, node }) = heap.pop() {
+        while let Some(Entry {
+            priority,
+            tree,
+            node,
+        }) = heap.pop()
+        {
             if candidates.len() >= budget {
                 break;
             }
@@ -182,7 +187,11 @@ impl RpForest {
                     right,
                 } => {
                     let margin = dot(normal, query) - threshold;
-                    let (near, far) = if margin > 0.0 { (*left, *right) } else { (*right, *left) };
+                    let (near, far) = if margin > 0.0 {
+                        (*left, *right)
+                    } else {
+                        (*right, *left)
+                    };
                     heap.push(Entry {
                         priority,
                         tree,
@@ -233,7 +242,9 @@ fn build_tree(dim: usize, data: &[f32], n: usize, leaf_size: usize, rng: &mut St
         return Tree { nodes, items };
     }
     nodes.push(Node::Leaf { start: 0, len: 0 }); // placeholder for the root
-    build_subtree(dim, data, &mut items, 0, n, 0, leaf_size, &mut nodes, rng, 0);
+    build_subtree(
+        dim, data, &mut items, 0, n, 0, leaf_size, &mut nodes, rng, 0,
+    );
     Tree { nodes, items }
 }
 
@@ -369,8 +380,30 @@ fn build_subtree(
         left: left_slot as u32,
         right: right_slot as u32,
     };
-    build_subtree(dim, data, items, lo, split, left_slot, leaf_size, nodes, rng, depth + 1);
-    build_subtree(dim, data, items, split, hi, right_slot, leaf_size, nodes, rng, depth + 1);
+    build_subtree(
+        dim,
+        data,
+        items,
+        lo,
+        split,
+        left_slot,
+        leaf_size,
+        nodes,
+        rng,
+        depth + 1,
+    );
+    build_subtree(
+        dim,
+        data,
+        items,
+        split,
+        hi,
+        right_slot,
+        leaf_size,
+        nodes,
+        rng,
+        depth + 1,
+    );
 }
 
 #[cfg(test)]
@@ -469,7 +502,10 @@ mod tests {
             large_recall >= small_recall,
             "larger search_k must not hurt recall ({large_recall} vs {small_recall})"
         );
-        assert!(large_recall >= 85.0, "large budget recall {large_recall}/100");
+        assert!(
+            large_recall >= 85.0,
+            "large budget recall {large_recall}/100"
+        );
     }
 
     #[test]

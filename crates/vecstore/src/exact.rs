@@ -127,17 +127,14 @@ mod tests {
         assert_eq!(hits.len(), 4);
         assert_eq!(hits[0].id, 1);
         assert_eq!(hits.last().unwrap().id, 3); // most negative score? no:
-        // scores: v0=0, v1=1, v2=.7, v3=0 → last two are ties at 0 by id.
+                                                // scores: v0=0, v1=1, v2=.7, v3=0 → last two are ties at 0 by id.
     }
 
     #[test]
     fn ties_break_by_ascending_id() {
         let s = ExactStore::new(1, vec![0.5, 0.5, 0.5]);
         let hits = s.top_k(&[1.0], 3);
-        assert_eq!(
-            hits.iter().map(|h| h.id).collect::<Vec<_>>(),
-            vec![0, 1, 2]
-        );
+        assert_eq!(hits.iter().map(|h| h.id).collect::<Vec<_>>(), vec![0, 1, 2]);
     }
 
     #[test]

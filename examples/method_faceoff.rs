@@ -11,7 +11,9 @@ use seesaw::core::run_benchmark_query;
 use seesaw::prelude::*;
 
 fn main() {
-    let dataset = DatasetSpec::lvis_like(0.005).with_max_queries(30).generate(3);
+    let dataset = DatasetSpec::lvis_like(0.005)
+        .with_max_queries(30)
+        .generate(3);
     let index = Preprocessor::new(PreprocessConfig::fast()).build(&dataset);
     let protocol = BenchmarkProtocol::default();
     println!(
@@ -40,10 +42,7 @@ fn main() {
     let hard_mean =
         |aps: &[f64]| hard.iter().map(|&i| aps[i]).sum::<f64>() / hard.len().max(1) as f64;
 
-    println!(
-        "{:<22} {:>8} {:>12}",
-        "method", "mean AP", "hard subset"
-    );
+    println!("{:<22} {:>8} {:>12}", "method", "mean AP", "hard subset");
     println!("{}", "-".repeat(44));
     println!(
         "{:<22} {:>8.3} {:>12.3}",
@@ -56,7 +55,10 @@ fn main() {
         ("few-shot CLIP", Box::new(MethodConfig::seesaw_few_shot)),
         ("Rocchio", Box::new(MethodConfig::rocchio)),
         ("ENS (horizon 60)", Box::new(|| MethodConfig::ens(60))),
-        ("SeeSaw (CLIP align)", Box::new(MethodConfig::seesaw_clip_only)),
+        (
+            "SeeSaw (CLIP align)",
+            Box::new(MethodConfig::seesaw_clip_only),
+        ),
         ("SeeSaw (full)", Box::new(MethodConfig::seesaw)),
         ("SeeSaw (blind boot)", Box::new(MethodConfig::seesaw_blind)),
     ];

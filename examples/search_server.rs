@@ -11,7 +11,9 @@ use seesaw::core::{Engine, SessionId};
 use seesaw::prelude::*;
 
 fn main() {
-    let dataset = DatasetSpec::lvis_like(0.003).with_max_queries(12).generate(11);
+    let dataset = DatasetSpec::lvis_like(0.003)
+        .with_max_queries(12)
+        .generate(11);
     let index = Preprocessor::new(PreprocessConfig::fast()).build(&dataset);
     let engine = Engine::new(&index, &dataset);
     let user = SimulatedUser::new(&dataset);
@@ -37,40 +39,41 @@ fn main() {
         })
         .collect();
 
-    let results: Vec<(u32, &str, SessionId, usize, usize)> =
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = assignments
-                .iter()
-                .map(|(concept, method_name, cfg)| {
-                    let engine = &engine;
-                    let user = &user;
-                    let cfg = cfg.clone();
-                    let concept = *concept;
-                    let method_name = *method_name;
-                    scope.spawn(move || {
-                        let id = engine.create_session(concept, cfg);
-                        let mut found = 0usize;
-                        let mut shown = 0usize;
-                        while found < 5 && shown < 40 {
-                            let Some(batch) = engine.next_batch(id, 2) else { break };
-                            if batch.is_empty() {
-                                break;
-                            }
-                            for img in batch {
-                                shown += 1;
-                                let fb = user.annotate(img, concept);
-                                if fb.relevant {
-                                    found += 1;
-                                }
-                                engine.feedback(id, fb);
-                            }
+    let results: Vec<(u32, &str, SessionId, usize, usize)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = assignments
+            .iter()
+            .map(|(concept, method_name, cfg)| {
+                let engine = &engine;
+                let user = &user;
+                let cfg = cfg.clone();
+                let concept = *concept;
+                let method_name = *method_name;
+                scope.spawn(move || {
+                    let id = engine.create_session(concept, cfg);
+                    let mut found = 0usize;
+                    let mut shown = 0usize;
+                    while found < 5 && shown < 40 {
+                        let Some(batch) = engine.next_batch(id, 2) else {
+                            break;
+                        };
+                        if batch.is_empty() {
+                            break;
                         }
-                        (concept, method_name, id, found, shown)
-                    })
+                        for img in batch {
+                            shown += 1;
+                            let fb = user.annotate(img, concept);
+                            if fb.relevant {
+                                found += 1;
+                            }
+                            engine.feedback(id, fb);
+                        }
+                    }
+                    (concept, method_name, id, found, shown)
                 })
-                .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        });
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
 
     println!(
         "{:<10} {:<10} {:>6} {:>6} {:>10}",

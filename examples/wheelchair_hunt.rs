@@ -54,7 +54,9 @@ fn main() {
         let mut found = 0usize;
         let mut tally = Vec::with_capacity(budget);
         for _ in 0..budget {
-            let Some(&img) = session.next_batch(1).first() else { break };
+            let Some(&img) = session.next_batch(1).first() else {
+                break;
+            };
             let fb = user.annotate(img, wheelchair.concept);
             if fb.relevant {
                 found += 1;
@@ -90,7 +92,11 @@ fn main() {
             "{name}: {} relevant in {} images{}",
             found,
             tally.len(),
-            if found >= 10 { " — task complete" } else { "" }
+            if found >= 10 {
+                " — task complete"
+            } else {
+                ""
+            }
         );
     }
 }

@@ -1,0 +1,451 @@
+//! Offline, dependency-free shim for the subset of the `rand` 0.8 API
+//! used by this workspace.
+//!
+//! The build environment has no access to a crate registry, so the
+//! workspace vendors a deterministic drop-in replacement instead of the
+//! real crate. Only the surface actually exercised by the SeeSaw crates
+//! is implemented: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`],
+//! [`Rng::gen_range`] / [`Rng::gen_bool`] / [`Rng::gen`],
+//! [`seq::SliceRandom::shuffle`], and [`seq::index::sample`].
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — a
+//! high-quality, reproducible PRNG that is more than adequate for the
+//! synthetic-data and property-test workloads here. Swapping back to
+//! the real `rand` crate only changes the concrete random streams, not
+//! any API.
+
+/// Core trait for generators: a source of uniformly random 64-bit words.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable generators. Only [`SeedableRng::seed_from_u64`] is used by
+/// the workspace; `from_seed` exists for parity.
+pub trait SeedableRng: Sized {
+    type Seed: AsMut<[u8]> + Default;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    fn seed_from_u64(state: u64) -> Self {
+        // SplitMix64-expand the word into a full seed, as real rand does.
+        let mut sm = SplitMix64 { state };
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let word = sm.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// User-facing convenience methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from a half-open or inclusive range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// Uniform sample of the whole type domain (floats: `[0, 1)`).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::gen_standard(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// `f64` uniform in `[0, 1)` from a random word (53-bit mantissa).
+#[inline]
+fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// `f32` uniform in `[0, 1)` from a random word (24-bit mantissa).
+#[inline]
+fn unit_f32(word: u64) -> f32 {
+    (word >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+}
+
+/// Types that [`Rng::gen`] can produce.
+pub trait Standard: Sized {
+    fn gen_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn gen_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn gen_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn gen_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl Standard for f32 {
+    fn gen_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f32(rng.next_u64())
+    }
+}
+
+/// Element types [`Rng::gen_range`] can sample uniformly.
+pub trait SampleUniform: Copy + PartialOrd {
+    fn sample_between<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                let span = if inclusive {
+                    assert!(low <= high, "gen_range: empty inclusive range");
+                    (high as $wide).wrapping_sub(low as $wide).wrapping_add(1)
+                } else {
+                    assert!(low < high, "gen_range: empty range");
+                    (high as $wide).wrapping_sub(low as $wide)
+                };
+                if span == 0 {
+                    // Inclusive range covering the full domain.
+                    return rng.next_u64() as $t;
+                }
+                // Multiply-shift rejection-free mapping is fine here; the
+                // modulo bias over a 64-bit source is negligible for the
+                // spans used in this workspace.
+                let word = rng.next_u64() as $wide;
+                low.wrapping_add((word % span) as $t)
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => u64, i16 => u64, i32 => u64, i64 => u64, isize => u64
+);
+
+impl SampleUniform for f64 {
+    fn sample_between<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        inclusive: bool,
+    ) -> Self {
+        if inclusive {
+            assert!(low <= high, "gen_range: empty inclusive range");
+        } else {
+            assert!(low < high, "gen_range: empty range");
+        }
+        low + (high - low) * unit_f64(rng.next_u64())
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_between<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        inclusive: bool,
+    ) -> Self {
+        if inclusive {
+            assert!(low <= high, "gen_range: empty inclusive range");
+        } else {
+            assert!(low < high, "gen_range: empty range");
+        }
+        low + (high - low) * unit_f32(rng.next_u64())
+    }
+}
+
+/// Range shapes accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_between(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_between(rng, *self.start(), *self.end(), true)
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic standard generator: xoshiro256++.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut bytes = [0u8; 8];
+                bytes.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+                *word = u64::from_le_bytes(bytes);
+            }
+            // All-zero state is the one degenerate orbit of xoshiro.
+            if s == [0; 4] {
+                s = [
+                    0x9E3779B97F4A7C15,
+                    0x6A09E667F3BCC909,
+                    0xBB67AE8584CAA73B,
+                    0x3C6EF372FE94F82B,
+                ];
+            }
+            Self { s }
+        }
+    }
+}
+
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Slice helpers; only `shuffle` is required by the workspace.
+    pub trait SliceRandom {
+        type Item;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            // Fisher–Yates.
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+
+    pub mod index {
+        use super::super::{Rng, RngCore};
+
+        /// Result of [`sample`]: distinct indices in `0..length`.
+        #[derive(Clone, Debug)]
+        pub struct IndexVec(Vec<usize>);
+
+        impl IndexVec {
+            pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+                self.0.iter().copied()
+            }
+
+            pub fn len(&self) -> usize {
+                self.0.len()
+            }
+
+            pub fn is_empty(&self) -> bool {
+                self.0.is_empty()
+            }
+
+            pub fn into_vec(self) -> Vec<usize> {
+                self.0
+            }
+        }
+
+        impl IntoIterator for IndexVec {
+            type Item = usize;
+            type IntoIter = std::vec::IntoIter<usize>;
+
+            fn into_iter(self) -> Self::IntoIter {
+                self.0.into_iter()
+            }
+        }
+
+        /// Sample `amount` distinct indices uniformly from `0..length`
+        /// via a partial Fisher–Yates pass.
+        pub fn sample<R: RngCore + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+            assert!(
+                amount <= length,
+                "cannot sample {amount} indices from a population of {length}"
+            );
+            let mut pool: Vec<usize> = (0..length).collect();
+            for i in 0..amount {
+                let j = rng.gen_range(i..length);
+                pool.swap(i, j);
+            }
+            pool.truncate(amount);
+            IndexVec(pool)
+        }
+    }
+}
+
+/// Process-global convenience generator (time/address seeded; the
+/// workspace code paths that matter always seed explicitly).
+pub fn thread_rng() -> rngs::StdRng {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+        .unwrap_or(0x5EED);
+    SeedableRng::seed_from_u64(nanos ^ (&nanos as *const u64 as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3..10);
+            assert!((3..10).contains(&x));
+            let y: f32 = rng.gen_range(-2.0f32..2.0);
+            assert!((-2.0..2.0).contains(&y));
+            let z = rng.gen_range(0.0f64..=1.0);
+            assert!((0.0..=1.0).contains(&z));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_values() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[rng.gen_range(0..5usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2200..2800).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn index_sample_distinct_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let idx = super::seq::index::sample(&mut rng, 100, 30);
+        let v = idx.into_vec();
+        assert_eq!(v.len(), 30);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 30);
+        assert!(v.iter().all(|&i| i < 100));
+    }
+}

@@ -1,0 +1,228 @@
+//! Offline shim for the subset of `rand_distr` 0.4 used by this
+//! workspace: [`Distribution`], [`Poisson`], [`Zipf`], [`LogNormal`],
+//! and [`Normal`].
+//!
+//! Sampling algorithms are textbook implementations (Box–Muller,
+//! Knuth/normal-approx Poisson, CDF-inversion Zipf) — statistically
+//! faithful, if not as fast as the real crate's ziggurat tables.
+
+use rand::{Rng, RngCore};
+
+/// Types that can produce samples of `T` given a source of randomness.
+pub trait Distribution<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Standard normal draw via Box–Muller (one value per call).
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen_range(0.0f64..1.0);
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen_range(0.0f64..1.0);
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+/// Error type shared by the distribution constructors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("invalid distribution parameter")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Normal (Gaussian) distribution.
+#[derive(Clone, Copy, Debug)]
+pub struct Normal<T> {
+    mean: T,
+    std_dev: T,
+}
+
+impl Normal<f64> {
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, Error> {
+        if std_dev.is_finite() && std_dev >= 0.0 && mean.is_finite() {
+            Ok(Self { mean, std_dev })
+        } else {
+            Err(Error)
+        }
+    }
+}
+
+impl Distribution<f64> for Normal<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma))`.
+#[derive(Clone, Copy, Debug)]
+pub struct LogNormal<T> {
+    mu: T,
+    sigma: T,
+}
+
+impl LogNormal<f64> {
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, Error> {
+        if sigma.is_finite() && sigma >= 0.0 && mu.is_finite() {
+            Ok(Self { mu, sigma })
+        } else {
+            Err(Error)
+        }
+    }
+}
+
+impl Distribution<f64> for LogNormal<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// Poisson distribution with rate `lambda`.
+#[derive(Clone, Copy, Debug)]
+pub struct Poisson<T> {
+    lambda: T,
+}
+
+impl Poisson<f64> {
+    pub fn new(lambda: f64) -> Result<Self, Error> {
+        if lambda.is_finite() && lambda > 0.0 {
+            Ok(Self { lambda })
+        } else {
+            Err(Error)
+        }
+    }
+}
+
+impl Distribution<f64> for Poisson<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.lambda < 30.0 {
+            // Knuth's product-of-uniforms method.
+            let l = (-self.lambda).exp();
+            let mut k = 0u64;
+            let mut p = 1.0;
+            loop {
+                p *= rng.gen_range(0.0f64..1.0);
+                if p <= l {
+                    return k as f64;
+                }
+                k += 1;
+            }
+        } else {
+            // Normal approximation with continuity correction; accurate
+            // to well under a count for the rates used here.
+            let x = self.lambda + self.lambda.sqrt() * standard_normal(rng);
+            x.round().max(0.0)
+        }
+    }
+}
+
+/// Zipf distribution over ranks `1..=n` with exponent `s`:
+/// `P(k) ∝ 1 / k^s`.
+#[derive(Clone, Debug)]
+pub struct Zipf<T> {
+    cdf: Vec<f64>,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl Zipf<f64> {
+    pub fn new(n: u64, s: f64) -> Result<Self, Error> {
+        if n == 0 || !s.is_finite() || s < 0.0 {
+            return Err(Error);
+        }
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Ok(Self {
+            cdf,
+            _marker: std::marker::PhantomData,
+        })
+    }
+}
+
+impl Distribution<f64> for Zipf<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen_range(0.0f64..1.0);
+        // First rank whose cumulative mass exceeds u.
+        let idx = self.cdf.partition_point(|&c| c < u);
+        (idx.min(self.cdf.len() - 1) + 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = Normal::new(3.0, 2.0).unwrap();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_unit_mean_construction() {
+        // exp(mu + sigma^2/2) = 1 when mu = -sigma^2/2.
+        let sigma = 0.5f64;
+        let d = LogNormal::new(-sigma * sigma / 2.0, sigma).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 40_000;
+        let mean = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_mean_small_and_large_rate() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for &lambda in &[0.5, 4.0, 60.0] {
+            let d = Poisson::new(lambda).unwrap();
+            let n = 20_000;
+            let mean = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+            assert!(
+                (mean - lambda).abs() < 0.05 * lambda.max(1.0),
+                "lambda {lambda} mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_rank_one_dominates() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let d = Zipf::new(100, 1.2).unwrap();
+        let mut counts = [0usize; 100];
+        for _ in 0..20_000 {
+            let k = d.sample(&mut rng) as usize;
+            assert!((1..=100).contains(&k));
+            counts[k - 1] += 1;
+        }
+        assert!(counts[0] > counts[1], "rank 1 should beat rank 2");
+        assert!(counts[1] > counts[9], "rank 2 should beat rank 10");
+    }
+
+    #[test]
+    fn invalid_parameters_error() {
+        assert!(Poisson::new(0.0).is_err());
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(LogNormal::new(f64::NAN, 1.0).is_err());
+    }
+}

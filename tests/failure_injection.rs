@@ -16,7 +16,11 @@ fn query_with_no_relevant_images() {
         .find(|&c| ds.truth.relevant_images(c).is_empty())
         .expect("some concept never appears at this scale");
     let proto = BenchmarkProtocol::default();
-    for cfg in [MethodConfig::zero_shot(), MethodConfig::seesaw(), MethodConfig::rocchio()] {
+    for cfg in [
+        MethodConfig::zero_shot(),
+        MethodConfig::seesaw(),
+        MethodConfig::rocchio(),
+    ] {
         let out = run_benchmark_query(&index, &ds, absent, cfg, &proto);
         assert_eq!(out.ap, 0.0);
         assert_eq!(out.trace.found(), 0);
@@ -33,7 +37,9 @@ fn sustained_negative_feedback_is_stable() {
     let concept = ds.queries()[0].concept;
     let mut s = Session::start(&index, &ds, concept, MethodConfig::seesaw());
     for _ in 0..25 {
-        let Some(&img) = s.next_batch(1).first() else { break };
+        let Some(&img) = s.next_batch(1).first() else {
+            break;
+        };
         // Lie: everything is irrelevant.
         s.feedback(seesaw::core::Feedback {
             image: img,

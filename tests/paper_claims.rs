@@ -22,8 +22,7 @@ fn build(spec: DatasetSpec, seed: u64) -> Bench {
 fn aps(b: &Bench, coarse: bool, make: &dyn Fn() -> MethodConfig) -> Vec<f64> {
     let proto = BenchmarkProtocol::default();
     let idx = if coarse { &b.coarse } else { &b.index };
-    b.ds
-        .queries()
+    b.ds.queries()
         .iter()
         .map(|q| run_benchmark_query(idx, &b.ds, q.concept, make(), &proto).ap)
         .collect()
@@ -82,7 +81,12 @@ fn clip_alignment_undoes_the_few_shot_regression() {
     let zs = aps(&b, true, &MethodConfig::zero_shot);
     let fs = aps(&b, true, &MethodConfig::seesaw_few_shot);
     let qa = aps(&b, true, &MethodConfig::seesaw_clip_only);
-    assert!(mean(&qa) > mean(&fs), "align {:.3} vs few-shot {:.3}", mean(&qa), mean(&fs));
+    assert!(
+        mean(&qa) > mean(&fs),
+        "align {:.3} vs few-shot {:.3}",
+        mean(&qa),
+        mean(&fs)
+    );
     assert!(
         mean(&qa) >= mean(&zs) - 0.02,
         "align {:.3} must recover zero-shot {:.3}",
@@ -149,8 +153,14 @@ fn seesaw_latency_does_not_scale_with_database_like_propagation() {
                     .iteration_seconds,
             );
             pp.extend(
-                run_benchmark_query(&b.index, &b.ds, q.concept, MethodConfig::seesaw_prop(), &proto)
-                    .iteration_seconds,
+                run_benchmark_query(
+                    &b.index,
+                    &b.ds,
+                    q.concept,
+                    MethodConfig::seesaw_prop(),
+                    &proto,
+                )
+                .iteration_seconds,
             );
         }
         seesaw_lat.push(median(&ss));

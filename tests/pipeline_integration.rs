@@ -28,7 +28,9 @@ fn every_preset_builds_and_searches() {
 
 #[test]
 fn all_methods_complete_on_one_dataset() {
-    let ds = DatasetSpec::coco_like(0.002).with_max_queries(8).generate(23);
+    let ds = DatasetSpec::coco_like(0.002)
+        .with_max_queries(8)
+        .generate(23);
     let index = Preprocessor::new(PreprocessConfig::fast()).build(&ds);
     let proto = BenchmarkProtocol::default();
     let q = ds.queries()[0];
@@ -69,7 +71,9 @@ fn multiscale_patch_counts_match_tiling_math() {
 
 #[test]
 fn index_is_deterministic_across_rebuilds() {
-    let ds = DatasetSpec::lvis_like(0.001).with_max_queries(5).generate(5);
+    let ds = DatasetSpec::lvis_like(0.001)
+        .with_max_queries(5)
+        .generate(5);
     let a = Preprocessor::new(PreprocessConfig::fast()).build(&ds);
     let b = Preprocessor::new(PreprocessConfig::fast()).build(&ds);
     assert_eq!(a.embeddings, b.embeddings);
