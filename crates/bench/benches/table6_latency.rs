@@ -20,7 +20,7 @@
 //! roughly flat as vectors grow 10–20×, ENS and propagation grow with
 //! the database.
 
-use seesaw_bench::{bench_suite, build_indexes, IndexNeeds};
+use seesaw_bench::{bench_store_config, bench_suite, build_indexes, IndexNeeds};
 use seesaw_core::{run_benchmark_query, DatasetIndex, MethodConfig};
 use seesaw_dataset::SyntheticDataset;
 use seesaw_metrics::{median, BenchmarkProtocol, TableBuilder};
@@ -42,15 +42,28 @@ fn median_iteration_seconds(
 
 fn main() {
     let specs = bench_suite();
+    // The store backend is configuration, not code: SEESAW_STORE /
+    // SEESAW_SHARDS select exact, forest, or IVF (optionally sharded)
+    // for every index this harness builds.
+    let store = bench_store_config();
+    eprintln!(
+        "[table6] store backend: {} ({} shard{})",
+        store.backend_name(),
+        store.shards(),
+        if store.shards() == 1 { "" } else { "s" },
+    );
     let built = build_indexes(&specs, IndexNeeds::all());
     let proto = BenchmarkProtocol::default();
     let n_queries = 5;
     let horizon = proto.image_budget;
 
-    let mut table =
-        TableBuilder::new("Table 6 — median per-iteration latency (s) vs database size").header([
-            "dataset", "vectors", "CLIP", "ENS", "Rocchio", "SeeSaw", "prop.",
-        ]);
+    let mut table = TableBuilder::new(format!(
+        "Table 6 — median per-iteration latency (s) vs database size [{} store]",
+        store.backend_name()
+    ))
+    .header([
+        "dataset", "vectors", "CLIP", "ENS", "Rocchio", "SeeSaw", "prop.",
+    ]);
 
     // Paper row order: ObjNet−, BDD−, COCO−, BDD, COCO (coarse rows
     // first, then multiscale; LVIS shares COCO's database).

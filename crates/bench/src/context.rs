@@ -2,12 +2,36 @@
 
 use seesaw_core::{PreprocessConfig, Preprocessor};
 use seesaw_dataset::{DatasetSpec, SyntheticDataset};
+use seesaw_vecstore::StoreConfig;
 
 use crate::{env_f64, env_usize};
 
 /// Experiment seed (`SEESAW_SEED`, default 7).
 pub fn bench_seed() -> u64 {
     env_usize("SEESAW_SEED", 7) as u64
+}
+
+/// The vector-store backend for bench indexes, selected by environment
+/// (`SEESAW_STORE` = `forest` | `exact` | `ivf`, `SEESAW_SHARDS` = N)
+/// instead of hardcoding one — every harness that builds through
+/// [`build_indexes`] runs against whichever backend the caller picks.
+///
+/// # Panics
+/// Panics on an unknown `SEESAW_STORE` value (silent fallback would
+/// make a typo benchmark the wrong backend).
+pub fn bench_store_config() -> StoreConfig {
+    let cfg = match std::env::var("SEESAW_STORE") {
+        Err(_) => PreprocessConfig::fast().store,
+        Ok(name) => match StoreConfig::from_backend_name(&name) {
+            // `forest` must mean the same bench-sized forest whether it
+            // is spelled out or left as the default, or explicit runs
+            // would not be comparable to default ones.
+            Some(StoreConfig::RpForest { .. }) => PreprocessConfig::fast().store,
+            Some(cfg) => cfg,
+            None => panic!("SEESAW_STORE={name:?}: expected forest, exact, or ivf"),
+        },
+    };
+    cfg.with_shards(env_usize("SEESAW_SHARDS", 0))
 }
 
 /// The four paper datasets at bench scale, in the paper's column order
@@ -75,6 +99,7 @@ pub struct BuiltDataset {
 
 fn preprocess_config(needs: &IndexNeeds, multiscale: bool) -> PreprocessConfig {
     let mut cfg = PreprocessConfig::fast();
+    cfg.store = bench_store_config();
     cfg.multiscale = multiscale;
     cfg.build_db_matrix = needs.db_matrix;
     cfg.build_propagation = needs.propagation;

@@ -14,12 +14,18 @@
 //!   paper-sized datasets).
 //! * `SEESAW_QUERIES` — per-dataset query cap (default 40).
 //! * `SEESAW_SEED` — experiment seed (default 7).
+//! * `SEESAW_STORE` — vector-store backend: `forest` (default),
+//!   `exact`, or `ivf`.
+//! * `SEESAW_SHARDS` — shard the store across N parallel workers
+//!   (default 0 = unsharded).
 
 pub mod context;
 pub mod experiments;
 pub mod usersim;
 
-pub use context::{bench_seed, bench_suite, build_indexes, BuiltDataset, IndexNeeds};
+pub use context::{
+    bench_seed, bench_store_config, bench_suite, build_indexes, BuiltDataset, IndexNeeds,
+};
 pub use experiments::{ap_per_query, hard_subset, mean_ap, select_hard, MethodFactory};
 pub use usersim::{simulate_task_time, AnnotationModel, UserSimConfig};
 

@@ -12,6 +12,7 @@ use parking_lot::Mutex;
 use seesaw_dataset::{ImageId, SyntheticDataset};
 use seesaw_embed::ConceptId;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::index::DatasetIndex;
 use crate::session::{MethodConfig, Session};
@@ -36,7 +37,13 @@ pub struct Engine<'a> {
     index: &'a DatasetIndex,
     dataset: &'a SyntheticDataset,
     sessions: Mutex<HashMap<SessionId, Session<'a>>>,
-    next_id: Mutex<u64>,
+    /// Lock-free id source, replacing the original design's second
+    /// mutex. Allocation is one atomic step, so ids are unique and a
+    /// creator's own id is registered before `create_session` returns;
+    /// registration order *across* creators is inherently unordered
+    /// (allocation and insertion remain two steps), and nothing here
+    /// may rely on it.
+    next_id: AtomicU64,
 }
 
 impl<'a> Engine<'a> {
@@ -46,16 +53,14 @@ impl<'a> Engine<'a> {
             index,
             dataset,
             sessions: Mutex::new(HashMap::new()),
-            next_id: Mutex::new(0),
+            next_id: AtomicU64::new(0),
         }
     }
 
     /// Start a new search for `concept` (Listing 1 line 2).
     pub fn create_session(&self, concept: ConceptId, config: MethodConfig) -> SessionId {
         let session = Session::start(self.index, self.dataset, concept, config);
-        let mut next = self.next_id.lock();
-        let id = SessionId(*next);
-        *next += 1;
+        let id = SessionId(self.next_id.fetch_add(1, Ordering::Relaxed));
         self.sessions.lock().insert(id, session);
         id
     }
@@ -151,6 +156,57 @@ mod tests {
                 boxes: vec![]
             }
         ));
+    }
+
+    #[test]
+    fn stress_create_feedback_destroy_from_eight_threads() {
+        // Hammer the full session lifecycle from 8 threads. The atomic
+        // id source must keep ids unique under contention (the old
+        // split-lock design took two mutexes to allocate one), every
+        // created session must be observable by its creator as soon as
+        // create_session returns, and close() accounting must balance
+        // exactly. Cross-thread registration order is deliberately NOT
+        // asserted — it is unordered by design.
+        let (ds, idx) = setup();
+        let engine = Engine::new(&idx, &ds);
+        let user = SimulatedUser::new(&ds);
+        let all_ids = parking_lot::Mutex::new(Vec::<SessionId>::new());
+        let rounds = 6;
+        std::thread::scope(|scope| {
+            for t in 0..8usize {
+                let engine = &engine;
+                let user = &user;
+                let all_ids = &all_ids;
+                let concept = ds.queries()[t % ds.queries().len()].concept;
+                scope.spawn(move || {
+                    for r in 0..rounds {
+                        let id = engine.create_session(concept, MethodConfig::seesaw());
+                        all_ids.lock().push(id);
+                        // The freshly created session must be visible
+                        // to its creator immediately.
+                        let stats = engine.stats(id).expect("created session must exist");
+                        assert_eq!(stats.images_shown, 0);
+                        let batch = engine.next_batch(id, 1).expect("session must be live");
+                        for img in batch {
+                            assert!(engine.feedback(id, user.annotate(img, concept)));
+                        }
+                        // Destroy every other session; the rest stay
+                        // live so the registry sees mixed pressure.
+                        if r % 2 == 0 {
+                            assert!(engine.close(id), "close must find the session");
+                            assert!(!engine.close(id), "double close must fail");
+                        }
+                    }
+                });
+            }
+        });
+        let mut ids = all_ids.into_inner();
+        let total = ids.len();
+        assert_eq!(total, 8 * rounds);
+        ids.sort_by_key(|id| id.0);
+        ids.dedup();
+        assert_eq!(ids.len(), total, "session ids must never repeat");
+        assert_eq!(engine.live_sessions(), 8 * rounds / 2);
     }
 
     #[test]

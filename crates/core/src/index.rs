@@ -4,7 +4,7 @@
 use seesaw_dataset::{BBox, ImageId};
 use seesaw_knn::KnnGraph;
 use seesaw_linalg::{CsrMatrix, DenseMatrix};
-use seesaw_vecstore::RpForest;
+use seesaw_vecstore::AnyStore;
 
 /// Where a patch vector came from.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -32,8 +32,10 @@ pub struct DatasetIndex {
     pub image_patch_ranges: Vec<(u32, u32)>,
     /// Per image: the patch id of its coarse tile.
     pub coarse_patches: Vec<u32>,
-    /// Approximate MIPS store over all patches.
-    pub store: RpForest,
+    /// MIPS store over all patches; the backend (exact, RP forest, or
+    /// IVF — each optionally sharded) is selected by the
+    /// `PreprocessConfig`'s `StoreConfig`.
+    pub store: AnyStore,
     /// The precomputed `M_D` (present when DB alignment was requested).
     pub m_d: Option<DenseMatrix>,
     /// Symmetrized weighted adjacency over *all patches* (present when

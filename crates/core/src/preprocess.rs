@@ -13,7 +13,7 @@ use seesaw_aligner::{compute_db_matrix, DbMatrixConfig};
 use seesaw_dataset::SyntheticDataset;
 use seesaw_knn::{gaussian_adjacency, KnnGraph, NnDescentConfig, SigmaRule};
 use seesaw_linalg::DenseMatrix;
-use seesaw_vecstore::{RpForest, RpForestConfig};
+use seesaw_vecstore::{RpForestConfig, StoreConfig};
 
 use crate::index::{DatasetIndex, PatchMeta};
 use crate::tiling::{tile_boxes, tile_content, CLIP_INPUT_PX};
@@ -25,8 +25,9 @@ pub struct PreprocessConfig {
     pub multiscale: bool,
     /// Minimum fine-tile side in pixels (CLIP's 224 by default).
     pub min_patch_px: u32,
-    /// Vector-store build parameters.
-    pub forest: RpForestConfig,
+    /// Vector-store backend and build parameters (exact, RP forest, or
+    /// IVF — each optionally sharded).
+    pub store: StoreConfig,
     /// kNN degree for the DB-alignment graph (paper: 10).
     pub knn_k: usize,
     /// Gaussian bandwidth rule for graph weights.
@@ -57,7 +58,7 @@ impl Default for PreprocessConfig {
         Self {
             multiscale: true,
             min_patch_px: CLIP_INPUT_PX,
-            forest: RpForestConfig::default(),
+            store: StoreConfig::default(),
             knn_k: 10,
             sigma: SigmaRule::SelfTuning(1.0),
             build_db_matrix: true,
@@ -76,16 +77,22 @@ impl PreprocessConfig {
     /// Everything on, sized for tests and examples (smaller forest).
     pub fn fast() -> Self {
         Self {
-            forest: RpForestConfig {
+            store: StoreConfig::forest(RpForestConfig {
                 n_trees: 24,
                 leaf_size: 16,
                 search_k: 8192,
                 ..RpForestConfig::default()
-            },
+            }),
             knn_k: 6,
             ens_knn_k: 8,
             ..Self::default()
         }
+    }
+
+    /// Swap the vector-store backend (builder style).
+    pub fn with_store(mut self, store: StoreConfig) -> Self {
+        self.store = store;
+        self
     }
 
     /// Coarse-only variant of any configuration (the "−" rows of
@@ -213,9 +220,11 @@ pub(crate) fn rebuild_from_embeddings(
     let coarse_patches: Vec<u32> = image_patch_ranges.iter().map(|&(s, _)| s).collect();
 
     // --- vector store --------------------------------------------
-    let mut forest_cfg = cfg.forest.clone();
-    forest_cfg.seed ^= cfg.seed;
-    let store = RpForest::build(dim, embeddings.clone(), forest_cfg);
+    let store = cfg
+        .store
+        .clone()
+        .reseeded(cfg.seed)
+        .build(dim, embeddings.clone());
 
     // --- patch-level graph artifacts ------------------------------
     // The propagation adjacency and the full-data M_D share one

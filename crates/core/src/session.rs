@@ -22,6 +22,7 @@ use seesaw_dataset::{ImageId, SyntheticDataset};
 use seesaw_embed::ConceptId;
 use seesaw_knn::{propagate_labels, LabelPropConfig, SigmaRule};
 use seesaw_linalg::normalized;
+use seesaw_vecstore::VectorStore;
 
 use crate::index::DatasetIndex;
 use crate::user::Feedback;
@@ -83,7 +84,9 @@ pub enum Method {
 pub struct MethodConfig {
     /// The `query_align` strategy.
     pub method: Method,
-    /// Vector-store candidate budget per lookup (Annoy's `search_k`).
+    /// Vector-store candidate budget per lookup — the RP forest reads
+    /// it as Annoy's `search_k`, the IVF store probes lists until it is
+    /// covered, and the exact scan ignores it.
     pub search_k: usize,
 }
 
@@ -323,10 +326,9 @@ impl<'a> Session<'a> {
                     }
                 }
                 // Pseudo-positives: top initial hits, weakly weighted.
-                let hits =
-                    index
-                        .store
-                        .top_k_with_search_k(&q0, assume_top, config.search_k, &|_| true);
+                let hits = index
+                    .store
+                    .top_k_budgeted(&q0, assume_top, config.search_k, &|_| true);
                 pseudo_patches = hits.iter().map(|h| h.id).collect();
                 pseudo_w = pseudo_weight.max(0.0);
                 (State::Aligner(a), q0.clone())
@@ -434,7 +436,7 @@ impl<'a> Session<'a> {
                 loop {
                     let seen = &self.seen;
                     let patches = &self.index.patches;
-                    let hits = self.index.store.top_k_with_search_k(
+                    let hits = self.index.store.top_k_budgeted(
                         &self.query,
                         k,
                         self.search_k.max(2 * k),

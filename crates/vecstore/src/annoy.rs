@@ -21,7 +21,7 @@ use seesaw_linalg::{add_scaled, dot, normalize, scale, squared_euclidean};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use crate::{sort_hits, Hit, VectorStore};
+use crate::{sort_hits, Hit, KeepFn, VectorStore};
 
 /// Build-time configuration for [`RpForest`].
 #[derive(Clone, Debug)]
@@ -120,7 +120,7 @@ impl RpForest {
         query: &[f32],
         k: usize,
         search_k: usize,
-        keep: &dyn Fn(u32) -> bool,
+        keep: &KeepFn,
     ) -> Vec<Hit> {
         assert_eq!(query.len(), self.dim, "query dimension mismatch");
         let n = self.len();
@@ -229,8 +229,12 @@ impl VectorStore for RpForest {
         self.dim
     }
 
-    fn top_k_filtered(&self, query: &[f32], k: usize, keep: &dyn Fn(u32) -> bool) -> Vec<Hit> {
+    fn top_k_filtered(&self, query: &[f32], k: usize, keep: &KeepFn) -> Vec<Hit> {
         self.top_k_with_search_k(query, k, self.config.search_k, keep)
+    }
+
+    fn top_k_budgeted(&self, query: &[f32], k: usize, budget: usize, keep: &KeepFn) -> Vec<Hit> {
+        self.top_k_with_search_k(query, k, budget, keep)
     }
 }
 

@@ -5,7 +5,7 @@
 //! accuracy metrics in our benchmarks using Annoy vs an exact but slow
 //! scan" (§2.2); our integration tests quantify the same comparison.
 
-use crate::{sort_hits, Hit, VectorStore};
+use crate::{sort_hits, Hit, KeepFn, VectorStore};
 use seesaw_linalg::dot;
 
 /// A dense, row-major collection of vectors scanned exhaustively.
@@ -51,7 +51,7 @@ impl VectorStore for ExactStore {
         self.dim
     }
 
-    fn top_k_filtered(&self, query: &[f32], k: usize, keep: &dyn Fn(u32) -> bool) -> Vec<Hit> {
+    fn top_k_filtered(&self, query: &[f32], k: usize, keep: &KeepFn) -> Vec<Hit> {
         assert_eq!(query.len(), self.dim, "query dimension mismatch");
         if k == 0 {
             return Vec::new();

@@ -2,26 +2,67 @@
 //!
 //! SeeSaw uses Annoy: an *approximate* store is acceptable because "even
 //! if the exact result were returned, there is already error inherent to
-//! the embedding representation". This crate provides:
+//! the embedding representation". This crate provides three backends and
+//! a horizontal sharding layer over all of them:
 //!
 //! * [`ExactStore`] — a brute-force scan, the accuracy reference;
 //! * [`RpForest`] — an Annoy-style forest of random-projection trees
 //!   (split by the midplane of two sampled points; query with a shared
-//!   priority queue across trees; exact re-rank of the candidate union).
+//!   priority queue across trees; exact re-rank of the candidate union);
+//! * [`IvfStore`] — an inverted-file index: a k-means coarse quantizer
+//!   partitions the data into lists, queries scan only the `n_probe`
+//!   best-matching lists;
+//! * [`ShardedStore`] — row-partitions any backend into N shards, fans
+//!   queries out with scoped threads, and k-way-merges the per-shard
+//!   results with the deterministic tie-break (descending score,
+//!   ascending id), so sharded-exact search is bit-identical to the
+//!   unsharded scan.
 //!
-//! Both implement [`VectorStore`], and both support filtered queries so
-//! the engine can exclude already-shown images (Listing 1 never repeats
-//! results).
+//! [`StoreConfig`] names a backend (plus an optional shard count) as
+//! plain data, and [`StoreConfig::build`] materializes it as an
+//! [`AnyStore`]; the engine's preprocessing pipeline selects backends
+//! through it instead of hardcoding one.
+//!
+//! Every backend implements [`VectorStore`], which is object-safe and
+//! `Send + Sync`, and all support filtered queries so the engine can
+//! exclude already-shown images (Listing 1 never repeats results).
+//!
+//! ## Backend selection matrix
+//!
+//! The §2.2 framing: embedding error dominates retrieval error, so an
+//! approximate store that returns *almost* the exact top-k loses almost
+//! no end-to-end accuracy while cutting latency by orders of magnitude.
+//! Which backend to pick:
+//!
+//! | backend      | accuracy                | lookup cost                 | memory            | use when |
+//! |--------------|-------------------------|-----------------------------|-------------------|----------|
+//! | `ExactStore` | exact (recall 1.0)      | O(N·d) full scan            | raw vectors only  | small N, ground truth, equivalence tests |
+//! | `RpForest`   | recall ≳ 0.85 @ default `search_k` (floor asserted in `tests/store_equivalence.rs`) | O(search_k·d) + tree walks | vectors + ~2N tree nodes per tree | the paper's choice: large N, interactive latency |
+//! | `IvfStore`   | recall ≳ 0.70 @ default `n_probe` (same suite), → 1.0 as `n_probe → n_lists` | O((n_probe/n_lists)·N·d) + centroid scan | vectors + centroids + list ids | large N with a tunable recall/latency dial, clustered data |
+//!
+//! Any of the three can be wrapped in [`ShardedStore`]: results are
+//! identical to the unsharded backend built per shard (bit-identical
+//! for `ExactStore`), latency drops toward 1/N of the unsharded scan on
+//! N idle cores, and memory is unchanged (rows are partitioned, not
+//! copied). Shard when the per-query scan dominates latency and cores
+//! are available — i.e. `ExactStore` at medium N, or any backend under
+//! heavy concurrent load.
 
 pub mod annoy;
+pub mod config;
 pub mod exact;
+pub mod ivf;
 #[cfg(test)]
 mod proptests;
 pub mod recall;
+pub mod sharded;
 
 pub use annoy::{RpForest, RpForestConfig};
+pub use config::{AnyStore, StoreConfig};
 pub use exact::ExactStore;
+pub use ivf::{IvfConfig, IvfStore};
 pub use recall::recall_at_k;
+pub use sharded::{merge_hits, ShardedStore};
 
 /// A scored hit: item id plus its inner product with the query.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -32,9 +73,16 @@ pub struct Hit {
     pub score: f32,
 }
 
-/// Maximum-inner-product top-k interface shared by exact and
-/// approximate stores.
-pub trait VectorStore {
+/// The item filter passed to queries. `Sync` so sharded stores can
+/// apply it from worker threads.
+pub type KeepFn<'a> = dyn Fn(u32) -> bool + Sync + 'a;
+
+/// Maximum-inner-product top-k interface shared by every backend.
+///
+/// Object-safe and `Send + Sync`: a `Box<dyn VectorStore>` can be
+/// queried from any thread, and [`ShardedStore`] fans queries out to
+/// scoped worker threads.
+pub trait VectorStore: Send + Sync {
     /// Number of indexed vectors.
     fn len(&self) -> usize;
 
@@ -49,7 +97,17 @@ pub trait VectorStore {
     /// Top-`k` items by inner product with `query`, among items for
     /// which `keep` returns true. Results are sorted by descending
     /// score; ties broken by ascending id for determinism.
-    fn top_k_filtered(&self, query: &[f32], k: usize, keep: &dyn Fn(u32) -> bool) -> Vec<Hit>;
+    fn top_k_filtered(&self, query: &[f32], k: usize, keep: &KeepFn) -> Vec<Hit>;
+
+    /// Top-`k` with an explicit candidate budget — the accuracy/latency
+    /// dial, uniform across backends: `RpForest` reads it as `search_k`,
+    /// `IvfStore` probes lists until the budget is covered, and the
+    /// exact scan (already exhaustive) ignores it. A budget of
+    /// `usize::MAX` makes every backend exhaustive.
+    fn top_k_budgeted(&self, query: &[f32], k: usize, budget: usize, keep: &KeepFn) -> Vec<Hit> {
+        let _ = budget;
+        self.top_k_filtered(query, k, keep)
+    }
 
     /// Unfiltered top-`k`.
     fn top_k(&self, query: &[f32], k: usize) -> Vec<Hit> {

@@ -1,9 +1,12 @@
-//! Property-based tests: the approximate store's contract against the
-//! exact scan for arbitrary data.
+//! Property-based tests: every backend's contract against the exact
+//! scan for arbitrary data, through one generic harness.
 
 #![cfg(test)]
 
-use crate::{ExactStore, Hit, RpForest, RpForestConfig, VectorStore};
+use crate::{
+    merge_hits, ExactStore, Hit, IvfConfig, IvfStore, RpForest, RpForestConfig, ShardedStore,
+    StoreConfig, VectorStore,
+};
 use proptest::prelude::*;
 
 fn flat_unit_vectors(n: usize, dim: usize, seed: u64) -> Vec<f32> {
@@ -17,62 +20,183 @@ fn flat_unit_vectors(n: usize, dim: usize, seed: u64) -> Vec<f32> {
     out
 }
 
+/// Every backend (sharded and not) built over the same buffer, labeled
+/// for assertion messages.
+fn all_backends(dim: usize, data: &[f32]) -> Vec<(&'static str, Box<dyn VectorStore>)> {
+    vec![
+        (
+            "exact",
+            Box::new(ExactStore::new(dim, data.to_vec())) as Box<dyn VectorStore>,
+        ),
+        (
+            "forest",
+            Box::new(RpForest::build(
+                dim,
+                data.to_vec(),
+                RpForestConfig::default(),
+            )),
+        ),
+        (
+            "ivf",
+            Box::new(IvfStore::build(dim, data.to_vec(), IvfConfig::default())),
+        ),
+        (
+            "sharded-exact",
+            Box::new(ShardedStore::build(dim, data.to_vec(), 3, ExactStore::new)),
+        ),
+        (
+            "sharded-forest",
+            Box::new(ShardedStore::build(dim, data.to_vec(), 2, |d, buf| {
+                RpForest::build(d, buf, RpForestConfig::default())
+            })),
+        ),
+        (
+            "sharded-ivf",
+            Box::new(ShardedStore::build(dim, data.to_vec(), 2, |d, buf| {
+                IvfStore::build(d, buf, IvfConfig::default())
+            })),
+        ),
+    ]
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    #![proptest_config(ProptestConfig::with_cases(12))]
 
+    /// Shared contract, all backends: results are sorted and unique,
+    /// scores are true inner products, the filter never leaks, and
+    /// `k ≥ len` returns exactly `len` hits.
     #[test]
-    fn forest_results_are_sorted_unique_and_correctly_scored(
-        n in 10usize..300,
-        seed in 0u64..500,
-        k in 1usize..12,
-    ) {
-        let dim = 12;
-        let data = flat_unit_vectors(n, dim, seed);
-        let forest = RpForest::build(dim, data.clone(), RpForestConfig::default());
-        let q = &data[..dim]; // first vector as the query
-        let hits = forest.top_k(q, k);
-        prop_assert!(hits.len() <= k);
-        // Sorted descending, ids unique, scores exact.
-        for w in hits.windows(2) {
-            prop_assert!(w[0].score >= w[1].score);
-            prop_assert!(w[0].id != w[1].id);
-        }
-        for h in &hits {
-            let v = &data[h.id as usize * dim..(h.id as usize + 1) * dim];
-            let true_score = seesaw_linalg::dot(q, v);
-            prop_assert!((h.score - true_score).abs() < 1e-5);
-        }
-        // Self-query must return itself first (it is in some leaf).
-        prop_assert_eq!(hits[0].id, 0);
-    }
-
-    #[test]
-    fn full_budget_forest_equals_exact(
-        n in 5usize..120,
-        seed in 500u64..900,
-    ) {
-        let dim = 8;
-        let data = flat_unit_vectors(n, dim, seed);
-        let exact = ExactStore::new(dim, data.clone());
-        let forest = RpForest::build(dim, data.clone(), RpForestConfig::default());
-        let q = &data[(n - 1) * dim..]; // last vector as the query
-        let truth: Vec<Hit> = exact.top_k(q, 5);
-        let approx = forest.top_k_with_search_k(q, 5, n, &|_| true);
-        let t_ids: Vec<u32> = truth.iter().map(|h| h.id).collect();
-        let a_ids: Vec<u32> = approx.iter().map(|h| h.id).collect();
-        prop_assert_eq!(t_ids, a_ids, "full-budget forest must equal exact scan");
-    }
-
-    #[test]
-    fn filter_never_leaks(
+    fn backend_contract_holds(
         n in 10usize..150,
-        seed in 0u64..200,
+        seed in 0u64..400,
+        k in 1usize..12,
         modulus in 2u32..5,
     ) {
         let dim = 8;
         let data = flat_unit_vectors(n, dim, seed);
-        let forest = RpForest::build(dim, data.clone(), RpForestConfig::default());
-        let hits = forest.top_k_filtered(&data[..dim], 6, &|id| id % modulus == 0);
-        prop_assert!(hits.iter().all(|h| h.id % modulus == 0));
+        let q = &data[..dim]; // first vector as the query
+        for (name, store) in all_backends(dim, &data) {
+            prop_assert_eq!(store.len(), n, "{}", name);
+            prop_assert_eq!(store.dim(), dim, "{}", name);
+
+            let hits = store.top_k(q, k);
+            prop_assert!(hits.len() <= k, "{}", name);
+            for w in hits.windows(2) {
+                prop_assert!(
+                    w[0].score > w[1].score || (w[0].score == w[1].score && w[0].id < w[1].id),
+                    "{}: unsorted or duplicate", name
+                );
+            }
+            for h in &hits {
+                let v = &data[h.id as usize * dim..(h.id as usize + 1) * dim];
+                let true_score = seesaw_linalg::dot(q, v);
+                prop_assert!((h.score - true_score).abs() < 1e-5, "{}", name);
+            }
+            // Self-query must return itself first.
+            prop_assert_eq!(hits[0].id, 0, "{}", name);
+
+            // The filter never leaks an excluded id.
+            let filtered = store.top_k_filtered(q, k, &|id| id % modulus == 0);
+            prop_assert!(
+                filtered.iter().all(|h| h.id % modulus == 0),
+                "{}: filter leaked", name
+            );
+
+            // k ≥ len returns exactly len hits.
+            let all = store.top_k(q, n + k);
+            prop_assert_eq!(all.len(), n, "{}: k>len must return len hits", name);
+        }
+    }
+
+    /// The k-way merge is invariant to how rows are assigned to shards:
+    /// any partition of the data produces output bit-identical to the
+    /// unsharded exact scan.
+    #[test]
+    fn merge_is_order_invariant_over_shard_assignment(
+        n in 5usize..120,
+        seed in 400u64..800,
+        n_shards in 1usize..6,
+        k in 1usize..10,
+    ) {
+        let dim = 8;
+        let data = flat_unit_vectors(n, dim, seed);
+        let exact = ExactStore::new(dim, data.clone());
+        let q = &data[(n - 1) * dim..]; // last vector as the query
+        let truth = exact.top_k(q, k);
+
+        // A pseudo-random (but arbitrary) row→shard assignment.
+        let assignment: Vec<usize> = (0..n)
+            .map(|row| (row.wrapping_mul(2654435761).wrapping_add(seed as usize)) % n_shards)
+            .collect();
+        let scattered = ShardedStore::build_with_assignment(
+            dim, data.clone(), &assignment, n_shards, ExactStore::new,
+        );
+        let contiguous = ShardedStore::build(dim, data.clone(), n_shards, ExactStore::new);
+        for (label, store) in [("scattered", &scattered), ("contiguous", &contiguous)] {
+            let got = store.top_k(q, k);
+            prop_assert_eq!(truth.len(), got.len(), "{}", label);
+            for (t, g) in truth.iter().zip(&got) {
+                prop_assert_eq!(t.id, g.id, "{}", label);
+                prop_assert_eq!(t.score.to_bits(), g.score.to_bits(), "{}", label);
+            }
+        }
+    }
+
+    /// `merge_hits` itself is invariant to the order of its input parts.
+    #[test]
+    fn merge_ignores_part_order(
+        seed in 0u64..200,
+        k in 1usize..16,
+    ) {
+        let dim = 4;
+        let n = 30;
+        let data = flat_unit_vectors(n, dim, seed);
+        let q = &data[..dim];
+        let parts: Vec<Vec<Hit>> = (0..3)
+            .map(|s| {
+                let rows: Vec<f32> = (0..n)
+                    .filter(|row| row % 3 == s)
+                    .flat_map(|row| data[row * dim..(row + 1) * dim].to_vec())
+                    .collect();
+                let mut hits = ExactStore::new(dim, rows).top_k(q, k);
+                for h in &mut hits {
+                    h.id = h.id * 3 + s as u32; // back to global ids
+                }
+                hits
+            })
+            .collect();
+        let forward = merge_hits(&parts, k);
+        let reversed: Vec<Vec<Hit>> = parts.iter().rev().cloned().collect();
+        let backward = merge_hits(&reversed, k);
+        prop_assert_eq!(forward, backward);
+    }
+
+    /// Full-budget queries through `StoreConfig`-built stores equal the
+    /// exact scan for every backend (budget ≥ n makes all exhaustive).
+    #[test]
+    fn full_budget_equals_exact_for_every_backend(
+        n in 5usize..100,
+        seed in 800u64..1100,
+    ) {
+        let dim = 8;
+        let data = flat_unit_vectors(n, dim, seed);
+        let exact = ExactStore::new(dim, data.clone());
+        let q = &data[(n - 1) * dim..];
+        let truth: Vec<u32> = exact.top_k(q, 5).iter().map(|h| h.id).collect();
+        for cfg in [
+            StoreConfig::exact(),
+            StoreConfig::default(),
+            StoreConfig::ivf(IvfConfig::default()),
+            StoreConfig::exact().with_shards(3),
+            StoreConfig::ivf(IvfConfig::default()).with_shards(2),
+        ] {
+            let store = cfg.build(dim, data.clone());
+            let got: Vec<u32> = store
+                .top_k_budgeted(q, 5, n, &|_| true)
+                .iter()
+                .map(|h| h.id)
+                .collect();
+            prop_assert_eq!(&truth, &got, "{:?}", cfg);
+        }
     }
 }

@@ -13,7 +13,10 @@
 //!   argument).
 //! * [`dataset`] — synthetic labeled datasets mirroring COCO / LVIS /
 //!   ObjectNet / BDD.
-//! * [`vecstore`] — Annoy-style random-projection-forest vector store.
+//! * [`vecstore`] — vector-store backends (exact scan, Annoy-style
+//!   random-projection forest, IVF) behind one `VectorStore` trait,
+//!   plus a sharding layer that parallelizes any of them; selected via
+//!   `StoreConfig`.
 //! * [`knn`] — NN-descent kNN graphs and label propagation.
 //! * [`aligner`] — the paper's contribution: the query-alignment loss
 //!   (CLIP alignment + database alignment) and its L-BFGS solve.
@@ -71,4 +74,5 @@ pub mod prelude {
     pub use seesaw_dataset::{DatasetSpec, SyntheticDataset};
     pub use seesaw_embed::EmbeddingModel;
     pub use seesaw_metrics::{average_precision, BenchmarkProtocol};
+    pub use seesaw_vecstore::{StoreConfig, VectorStore};
 }

@@ -1,0 +1,202 @@
+//! Cross-backend equivalence suite for the vector-store layer.
+//!
+//! The contract this locks in (ISSUE 2 / paper §2.2): sharding is a
+//! pure parallelization — `ShardedStore<ExactStore>` must be
+//! *bit-identical* to the unsharded exact scan for every shard count —
+//! while the approximate backends (RP forest, IVF) may trade recall for
+//! latency but must stay above the floors documented in the
+//! `seesaw_vecstore` module docs (forest ≳ 0.85, IVF ≳ 0.70 at default
+//! knobs). The `recall_` tests double as the CI recall-regression
+//! smoke: a backend change that silently drops recall fails the build.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use seesaw::linalg::random_unit_vector;
+use seesaw::vecstore::{
+    recall_at_k, ExactStore, IvfConfig, RpForestConfig, ShardedStore, StoreConfig, VectorStore,
+};
+
+fn random_data(n: usize, dim: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = Vec::with_capacity(n * dim);
+    for _ in 0..n {
+        data.extend_from_slice(&random_unit_vector(&mut rng, dim));
+    }
+    data
+}
+
+fn random_queries(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| random_unit_vector(&mut rng, dim)).collect()
+}
+
+/// Assert two hit lists are equal down to the score bits.
+fn assert_bit_identical(truth: &[seesaw::vecstore::Hit], got: &[seesaw::vecstore::Hit], ctx: &str) {
+    assert_eq!(truth.len(), got.len(), "{ctx}: hit count");
+    for (t, g) in truth.iter().zip(got) {
+        assert_eq!(t.id, g.id, "{ctx}: id");
+        assert_eq!(
+            t.score.to_bits(),
+            g.score.to_bits(),
+            "{ctx}: score bits for id {}",
+            t.id
+        );
+    }
+}
+
+#[test]
+fn sharded_exact_is_bit_identical_to_exact() {
+    for (n, dim, seed) in [(97usize, 8usize, 1u64), (500, 16, 2), (1000, 24, 3)] {
+        let data = random_data(n, dim, seed);
+        let exact = ExactStore::new(dim, data.clone());
+        let queries = random_queries(8, dim, seed ^ 0x5eed);
+        for shards in [1usize, 2, 3, 7] {
+            let sharded = ShardedStore::build(dim, data.clone(), shards, ExactStore::new);
+            for (qi, q) in queries.iter().enumerate() {
+                for k in [1usize, 5, 13, n + 10] {
+                    let truth = exact.top_k(q, k);
+                    let got = sharded.top_k(q, k);
+                    assert_bit_identical(
+                        &truth,
+                        &got,
+                        &format!("n={n} shards={shards} q={qi} k={k}"),
+                    );
+                }
+                // Filtered queries must agree too (the filter runs on
+                // global ids inside each shard).
+                let truth = exact.top_k_filtered(q, 9, &|id| id % 3 != 0);
+                let got = sharded.top_k_filtered(q, 9, &|id| id % 3 != 0);
+                assert_bit_identical(&truth, &got, &format!("filtered shards={shards} q={qi}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_exact_via_store_config_matches_too() {
+    let (n, dim) = (400usize, 12usize);
+    let data = random_data(n, dim, 11);
+    let exact = StoreConfig::exact().build(dim, data.clone());
+    let queries = random_queries(5, dim, 12);
+    for shards in [2usize, 3, 7] {
+        let sharded = StoreConfig::exact()
+            .with_shards(shards)
+            .build(dim, data.clone());
+        for q in &queries {
+            assert_bit_identical(
+                &exact.top_k(q, 10),
+                &sharded.top_k(q, 10),
+                &format!("StoreConfig shards={shards}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn recall_rp_forest_stays_above_floor() {
+    let (n, dim) = (2000usize, 24usize);
+    let data = random_data(n, dim, 21);
+    let exact = ExactStore::new(dim, data.clone());
+    let forest = StoreConfig::forest(RpForestConfig::default()).build(dim, data.clone());
+    let queries = random_queries(20, dim, 22);
+    let recall = recall_at_k(&exact, &forest, &queries, 10);
+    assert!(recall > 0.85, "RP-forest recall@10 = {recall}, floor 0.85");
+}
+
+#[test]
+fn recall_ivf_stays_above_floor() {
+    let (n, dim) = (2000usize, 24usize);
+    let data = random_data(n, dim, 31);
+    let exact = ExactStore::new(dim, data.clone());
+    let ivf = StoreConfig::ivf(IvfConfig::default()).build(dim, data.clone());
+    let queries = random_queries(20, dim, 32);
+    let recall = recall_at_k(&exact, &ivf, &queries, 10);
+    assert!(recall > 0.70, "IVF recall@10 = {recall}, floor 0.70");
+}
+
+#[test]
+fn recall_sharded_approximate_backends_hold_their_floors() {
+    // Sharding an approximate backend re-partitions its training data;
+    // recall must not collapse (each shard is a smaller, easier index,
+    // so it typically *rises*).
+    let (n, dim) = (2000usize, 24usize);
+    let data = random_data(n, dim, 41);
+    let exact = ExactStore::new(dim, data.clone());
+    let queries = random_queries(15, dim, 42);
+    let forest = StoreConfig::forest(RpForestConfig::default())
+        .with_shards(4)
+        .build(dim, data.clone());
+    let recall = recall_at_k(&exact, &forest, &queries, 10);
+    assert!(recall > 0.85, "sharded forest recall@10 = {recall}");
+    let ivf = StoreConfig::ivf(IvfConfig::default())
+        .with_shards(4)
+        .build(dim, data.clone());
+    let recall = recall_at_k(&exact, &ivf, &queries, 10);
+    assert!(recall > 0.70, "sharded IVF recall@10 = {recall}");
+}
+
+#[test]
+fn engine_batches_identical_across_exact_shard_counts() {
+    // End-to-end through core: a session over a sharded-exact index
+    // hands out exactly the same images in the same order as over the
+    // unsharded exact index.
+    use seesaw::prelude::*;
+    use seesaw::vecstore::StoreConfig;
+
+    let ds = DatasetSpec::coco_like(0.001)
+        .with_max_queries(6)
+        .generate(55);
+    let build =
+        |cfg: StoreConfig| Preprocessor::new(PreprocessConfig::fast().with_store(cfg)).build(&ds);
+    let reference = build(StoreConfig::exact());
+    let concept = ds.queries()[0].concept;
+    let user = SimulatedUser::new(&ds);
+    for shards in [2usize, 3, 7] {
+        let sharded = build(StoreConfig::exact().with_shards(shards));
+        let mut a = Session::start(&reference, &ds, concept, MethodConfig::seesaw());
+        let mut b = Session::start(&sharded, &ds, concept, MethodConfig::seesaw());
+        for round in 0..6 {
+            let batch_a = a.next_batch(2);
+            let batch_b = b.next_batch(2);
+            assert_eq!(batch_a, batch_b, "shards={shards} round={round}");
+            for img in batch_a {
+                let fb = user.annotate(img, concept);
+                a.feedback(fb.clone());
+                b.feedback(fb);
+            }
+        }
+    }
+}
+
+#[test]
+fn every_backend_survives_a_full_session() {
+    // The config plumbing end to end: preprocess + search with each
+    // backend (sharded and not) and make sure sessions behave.
+    use seesaw::prelude::*;
+    use seesaw::vecstore::StoreConfig;
+
+    let ds = DatasetSpec::coco_like(0.001)
+        .with_max_queries(6)
+        .generate(66);
+    let user = SimulatedUser::new(&ds);
+    let concept = ds.queries()[0].concept;
+    for cfg in [
+        StoreConfig::forest(RpForestConfig::default()),
+        StoreConfig::forest(RpForestConfig::default()).with_shards(2),
+        StoreConfig::ivf(IvfConfig::default()),
+        StoreConfig::ivf(IvfConfig::default()).with_shards(3),
+    ] {
+        let idx = Preprocessor::new(PreprocessConfig::fast().with_store(cfg.clone())).build(&ds);
+        let mut session = Session::start(&idx, &ds, concept, MethodConfig::seesaw());
+        let mut shown = Vec::new();
+        for _ in 0..5 {
+            let batch = session.next_batch(2);
+            for img in batch {
+                assert!(!shown.contains(&img), "{cfg:?}: repeated image {img}");
+                shown.push(img);
+                session.feedback(user.annotate(img, concept));
+            }
+        }
+        assert_eq!(shown.len(), 10, "{cfg:?}: short batches");
+    }
+}
