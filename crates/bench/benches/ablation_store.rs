@@ -113,11 +113,14 @@ fn main() {
         .header(["backend", "mAP"]);
     for cfg in &backends {
         // Swap only the store: embeddings, graphs, and M_D are shared.
-        let mut idx_b = idx.clone();
+        // (`build` hands back Arc<DatasetIndex>; clone the inner value
+        // to get a mutable copy, then re-share it.)
+        let mut idx_b = (*idx).clone();
         idx_b.store = cfg
             .clone()
             .reseeded(PreprocessConfig::fast().seed)
             .build(idx.dim, data.clone());
+        let idx_b = std::sync::Arc::new(idx_b);
         let aps = ap_per_query(&idx_b, &ds, &|_, _, _| MethodConfig::seesaw(), &proto);
         backend_ap.num_row(cfg.backend_name(), &[mean_ap(&aps)], 3);
     }
@@ -125,11 +128,12 @@ fn main() {
 
     // --- end-to-end mAP vs candidate budget --------------------------
     let sweep_cfg = bench_store_config();
-    let mut idx_s = idx.clone();
+    let mut idx_s = (*idx).clone();
     idx_s.store = sweep_cfg
         .clone()
         .reseeded(PreprocessConfig::fast().seed)
         .build(idx.dim, data.clone());
+    let idx_s = std::sync::Arc::new(idx_s);
     let mut ap_table = TableBuilder::new(format!(
         "SeeSaw mAP vs store accuracy budget ({} backend)",
         sweep_cfg.backend_name()

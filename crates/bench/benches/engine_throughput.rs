@@ -1,0 +1,302 @@
+//! **Serving-layer throughput: global lock vs per-session locks.**
+//!
+//! The old `Engine` design funneled every `next_batch`/`feedback` call
+//! through one global `Mutex<HashMap<…, Session>>`, so N concurrent
+//! users serialized on each other's vector-store lookups and alignment
+//! solves. The owned [`SearchService`] shards the registry and locks
+//! per session — registry locks are held only for lookup/insert/remove.
+//! This harness replays the same workload (threads × sessions doing
+//! create → next_batch/feedback rounds → close) against both designs
+//! and reports sessions/sec; per-session locking should pull ahead as
+//! threads grow and win clearly by 8.
+//!
+//! Knobs: `SEESAW_THREADS` caps the sweep (default 8; the sweep runs
+//! 1, 2, 4, … up to the cap), `SEESAW_SCALE` scales the dataset.
+//!
+//! ```sh
+//! cargo bench --bench engine_throughput
+//! SEESAW_THREADS=16 cargo bench --bench engine_throughput
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use seesaw_bench::{bench_seed, env_usize};
+use seesaw_core::{
+    Batch, DatasetIndex, MethodConfig, PreprocessConfig, Preprocessor, SearchService, Session,
+    SimulatedUser,
+};
+use seesaw_dataset::{DatasetSpec, SyntheticDataset};
+use seesaw_metrics::TableBuilder;
+
+/// Faithful reconstruction of the retired global-lock engine: one
+/// mutex around the whole session map, held for the full duration of
+/// every lookup and alignment solve.
+struct GlobalLockEngine {
+    index: Arc<DatasetIndex>,
+    dataset: Arc<SyntheticDataset>,
+    sessions: Mutex<HashMap<u64, Session>>,
+    next_id: AtomicU64,
+}
+
+impl GlobalLockEngine {
+    fn new(index: Arc<DatasetIndex>, dataset: Arc<SyntheticDataset>) -> Self {
+        Self {
+            index,
+            dataset,
+            sessions: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(0),
+        }
+    }
+
+    fn create_session(&self, concept: u32, config: MethodConfig) -> u64 {
+        let session = Session::start(&self.index, &self.dataset, concept, config);
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.sessions.lock().unwrap().insert(id, session);
+        id
+    }
+
+    fn next_batch(&self, id: u64, n: usize) -> Option<Vec<u32>> {
+        // The defining flaw: the store lookup and the aligner solve run
+        // *inside* the registry lock.
+        self.sessions
+            .lock()
+            .unwrap()
+            .get_mut(&id)
+            .map(|s| s.next_batch(n))
+    }
+
+    fn feedback(&self, id: u64, fb: seesaw_core::Feedback) -> bool {
+        match self.sessions.lock().unwrap().get_mut(&id) {
+            Some(s) => s.try_feedback(fb),
+            None => false,
+        }
+    }
+
+    fn stats_probe(&self, id: u64) -> bool {
+        // Even a read must take the one big lock.
+        self.sessions.lock().unwrap().get(&id).is_some()
+    }
+
+    fn close(&self, id: u64) -> bool {
+        self.sessions.lock().unwrap().remove(&id).is_some()
+    }
+}
+
+/// Latency percentile helper (sorted copy, nearest-rank).
+fn percentile(samples: &mut [f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return f64::NAN;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let idx = ((samples.len() as f64 * p).ceil() as usize).clamp(1, samples.len()) - 1;
+    samples[idx]
+}
+
+/// What one design run reports: bulk throughput plus the latency an
+/// *observer* (a cheap stats probe on an idle session) saw while the
+/// workers hammered their own sessions.
+struct WorkloadReport {
+    sessions_per_sec: f64,
+    probe_p50_ms: f64,
+    probe_p99_ms: f64,
+}
+
+/// Run `threads` × `sessions_per_thread` sessions against one design.
+/// The per-design plumbing comes in as closures so both engines replay
+/// byte-identical workloads. `probe` checks an idle session the way a
+/// dashboard would; under a global lock it queues behind every worker's
+/// alignment solve, under per-session locks it never does — a
+/// difference that shows even on a single core, where wall-clock
+/// throughput cannot.
+fn run_workload<C, N, F, K, P>(
+    threads: usize,
+    sessions_per_thread: usize,
+    rounds: usize,
+    dataset: &Arc<SyntheticDataset>,
+    create: C,
+    next_batch: N,
+    feedback: F,
+    close: K,
+    probe: P,
+) -> WorkloadReport
+where
+    C: Fn(u32) -> u64 + Sync,
+    N: Fn(u64, usize) -> Vec<u32> + Sync,
+    F: Fn(u64, seesaw_core::Feedback) -> bool + Sync,
+    K: Fn(u64) -> bool + Sync,
+    P: Fn(u64) -> bool + Sync,
+{
+    let idle = create(dataset.queries()[0].concept);
+    let finished = std::sync::atomic::AtomicUsize::new(0);
+    let mut probe_ms: Vec<f64> = Vec::new();
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let dataset = Arc::clone(dataset);
+            let (create, next_batch, feedback, close) = (&create, &next_batch, &feedback, &close);
+            let finished = &finished;
+            scope.spawn(move || {
+                let user = SimulatedUser::new(&dataset);
+                let queries = dataset.queries();
+                for s in 0..sessions_per_thread {
+                    let concept = queries[(t * sessions_per_thread + s) % queries.len()].concept;
+                    let id = create(concept);
+                    let mut shown = 0usize;
+                    for _ in 0..rounds {
+                        let batch = next_batch(id, 1);
+                        if batch.is_empty() {
+                            break;
+                        }
+                        for img in batch {
+                            shown += 1;
+                            assert!(
+                                feedback(id, user.annotate(img, concept)),
+                                "feedback must be accepted"
+                            );
+                        }
+                    }
+                    assert!(shown > 0, "workload must do real work");
+                    assert!(close(id), "close must find the session");
+                }
+                finished.fetch_add(1, Ordering::Release);
+            });
+        }
+        // The observer: probe the idle session until the workers finish.
+        let observer = scope.spawn(|| {
+            let mut samples = Vec::new();
+            while finished.load(Ordering::Acquire) < threads {
+                let p0 = Instant::now();
+                assert!(probe(idle), "idle session must stay probeable");
+                samples.push(p0.elapsed().as_secs_f64() * 1e3);
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            samples
+        });
+        probe_ms = observer.join().unwrap();
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+    assert!(close(idle), "idle session must close");
+    WorkloadReport {
+        sessions_per_sec: (threads * sessions_per_thread) as f64 / elapsed,
+        probe_p50_ms: percentile(&mut probe_ms, 0.50),
+        probe_p99_ms: percentile(&mut probe_ms, 0.99),
+    }
+}
+
+fn main() {
+    let max_threads = env_usize("SEESAW_THREADS", 8).max(1);
+    let scale = 0.002 * seesaw_bench::env_f64("SEESAW_SCALE", 1.0);
+    let sessions_per_thread = env_usize("SEESAW_SESSIONS", 4);
+    let rounds = 6;
+
+    let dataset = Arc::new(
+        DatasetSpec::coco_like(scale)
+            .with_max_queries(16)
+            .generate(bench_seed()),
+    );
+    let index = Preprocessor::new(PreprocessConfig::fast()).build(&dataset);
+    eprintln!(
+        "[engine_throughput] {} images, {} patch vectors; {} sessions/thread × {} rounds",
+        dataset.n_images(),
+        index.n_patches(),
+        sessions_per_thread,
+        rounds
+    );
+
+    let mut sweep = vec![1usize];
+    while *sweep.last().unwrap() < max_threads {
+        sweep.push((sweep.last().unwrap() * 2).min(max_threads));
+    }
+
+    let mut table = TableBuilder::new(
+        "Serving layer: global lock vs per-session locks (sessions/sec; observer stats-probe ms)",
+    )
+    .header([
+        "threads",
+        "global s/s",
+        "service s/s",
+        "speedup",
+        "global p99",
+        "service p99",
+        "isolation",
+    ]);
+
+    for &threads in &sweep {
+        // Fresh services per row so registry sizes match across rows.
+        let global = GlobalLockEngine::new(Arc::clone(&index), Arc::clone(&dataset));
+        let global_report = run_workload(
+            threads,
+            sessions_per_thread,
+            rounds,
+            &dataset,
+            |c| global.create_session(c, MethodConfig::seesaw()),
+            |id, n| global.next_batch(id, n).expect("session is live"),
+            |id, fb| global.feedback(id, fb),
+            |id| global.close(id),
+            |id| global.stats_probe(id),
+        );
+
+        let service = SearchService::new(Arc::clone(&index), Arc::clone(&dataset));
+        let service_report = run_workload(
+            threads,
+            sessions_per_thread,
+            rounds,
+            &dataset,
+            |c| {
+                service
+                    .create_session(c, MethodConfig::seesaw())
+                    .expect("valid concept")
+                    .raw()
+            },
+            |id, n| match service
+                .next_batch(seesaw_core::SessionId::from_raw(id), n)
+                .expect("session is live")
+            {
+                Batch::Images(images) => images,
+                Batch::Exhausted => Vec::new(),
+            },
+            |id, fb| {
+                service
+                    .feedback(seesaw_core::SessionId::from_raw(id), fb)
+                    .is_ok()
+            },
+            |id| service.close(seesaw_core::SessionId::from_raw(id)).is_ok(),
+            |id| service.stats(seesaw_core::SessionId::from_raw(id)).is_ok(),
+        );
+
+        table.row([
+            threads.to_string(),
+            format!("{:.1}", global_report.sessions_per_sec),
+            format!("{:.1}", service_report.sessions_per_sec),
+            format!(
+                "{:.2}x",
+                service_report.sessions_per_sec / global_report.sessions_per_sec.max(1e-9)
+            ),
+            format!(
+                "{:.2}/{:.2}",
+                global_report.probe_p50_ms, global_report.probe_p99_ms
+            ),
+            format!(
+                "{:.2}/{:.2}",
+                service_report.probe_p50_ms, service_report.probe_p99_ms
+            ),
+            format!(
+                "{:.1}x",
+                global_report.probe_p99_ms / service_report.probe_p99_ms.max(1e-9)
+            ),
+        ]);
+    }
+    println!("{table}");
+    println!("two claims under test, one per resource dimension:");
+    println!("  • throughput (speedup column): with ≥2 cores the global lock flatlines");
+    println!("    while per-session locking scales — the win must be clear by 8 threads.");
+    println!("    (On a single-core host both serialize on the CPU and the column");
+    println!("    stays ≈1x; the probe columns still expose the design difference.)");
+    println!("  • isolation (p50/p99 probe columns): a cheap stats() on an *idle*");
+    println!("    session queues behind whole alignment solves under the global lock,");
+    println!("    but never waits under per-session locks — its p99 should be");
+    println!("    an order of magnitude lower for the service on any host.");
+}

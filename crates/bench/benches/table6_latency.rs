@@ -26,7 +26,7 @@ use seesaw_dataset::SyntheticDataset;
 use seesaw_metrics::{median, BenchmarkProtocol, TableBuilder};
 
 fn median_iteration_seconds(
-    index: &DatasetIndex,
+    index: &std::sync::Arc<DatasetIndex>,
     dataset: &SyntheticDataset,
     method: impl Fn() -> MethodConfig,
     proto: &BenchmarkProtocol,

@@ -87,14 +87,16 @@ impl IndexNeeds {
     }
 }
 
-/// A dataset with the indexes a bench target asked for.
+/// A dataset with the indexes a bench target asked for. Indexes come
+/// shared (`Arc`) straight from [`Preprocessor::build`], so harnesses
+/// can hand them to sessions, services, and threads without copying.
 pub struct BuiltDataset {
     /// The generated dataset.
     pub dataset: SyntheticDataset,
     /// Multiscale index (§4.3 representation), if requested.
-    pub multiscale: Option<seesaw_core::DatasetIndex>,
+    pub multiscale: Option<std::sync::Arc<seesaw_core::DatasetIndex>>,
     /// Coarse-only index, if requested.
-    pub coarse: Option<seesaw_core::DatasetIndex>,
+    pub coarse: Option<std::sync::Arc<seesaw_core::DatasetIndex>>,
 }
 
 fn preprocess_config(needs: &IndexNeeds, multiscale: bool) -> PreprocessConfig {

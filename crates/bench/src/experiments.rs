@@ -3,6 +3,7 @@
 use seesaw_core::{run_benchmark_query, DatasetIndex, MethodConfig};
 use seesaw_dataset::SyntheticDataset;
 use seesaw_metrics::BenchmarkProtocol;
+use std::sync::Arc;
 
 /// A factory producing a fresh `MethodConfig` per query (methods hold
 /// per-query state, so they cannot be shared across queries).
@@ -11,7 +12,7 @@ pub type MethodFactory<'a> = &'a dyn Fn(&DatasetIndex, &SyntheticDataset, u32) -
 /// Run `method` on every benchmark query of the dataset; returns the
 /// per-query AP values in query order.
 pub fn ap_per_query(
-    index: &DatasetIndex,
+    index: &Arc<DatasetIndex>,
     dataset: &SyntheticDataset,
     method: MethodFactory,
     protocol: &BenchmarkProtocol,

@@ -15,6 +15,7 @@
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
+use std::sync::Arc;
 
 use seesaw_dataset::BBox;
 
@@ -54,11 +55,13 @@ pub fn save_embeddings(index: &DatasetIndex, path: &Path) -> io::Result<()> {
 }
 
 /// Read an index back from `path`, rebuilding the store, graphs, and
-/// `M_D` deterministically with `config`.
+/// `M_D` deterministically with `config`. The result comes back behind
+/// `Arc`, matching [`crate::Preprocessor::build`], so it can serve
+/// sessions and a [`crate::service::SearchService`] directly.
 ///
 /// # Errors
 /// Returns `InvalidData` on a malformed or truncated file.
-pub fn load_embeddings(path: &Path, config: &PreprocessConfig) -> io::Result<DatasetIndex> {
+pub fn load_embeddings(path: &Path, config: &PreprocessConfig) -> io::Result<Arc<DatasetIndex>> {
     let mut r = BufReader::new(File::open(path)?);
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
@@ -103,14 +106,14 @@ pub fn load_embeddings(path: &Path, config: &PreprocessConfig) -> io::Result<Dat
         r.read_exact(&mut b)?;
         *v = f32::from_le_bytes(b);
     }
-    Ok(crate::preprocess::rebuild_from_embeddings(
+    Ok(Arc::new(crate::preprocess::rebuild_from_embeddings(
         dim,
         embeddings,
         patches,
         image_patch_ranges,
         multiscale,
         config,
-    ))
+    )))
 }
 
 fn write_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
@@ -152,6 +155,53 @@ mod tests {
         assert_eq!(index.store.top_k(&q, 5), loaded.store.top_k(&q, 5));
         // Graph artifacts present per the config.
         assert_eq!(loaded.m_d.is_some(), index.m_d.is_some());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn roundtrip_through_arc_serves_identical_sessions() {
+        // The save/load cycle across the owned (`Arc<DatasetIndex>`)
+        // API: saving goes through the shared handle (deref), loading
+        // returns a fresh Arc, and both handles must drive sessions —
+        // directly and through a SearchService — to identical batches.
+        use crate::service::{Batch, SearchService};
+        use crate::session::{MethodConfig, Session};
+        use crate::user::SimulatedUser;
+
+        let ds = Arc::new(
+            DatasetSpec::coco_like(0.001)
+                .with_max_queries(5)
+                .generate(29),
+        );
+        let cfg = PreprocessConfig::fast();
+        let index = Preprocessor::new(cfg.clone()).build(&ds);
+        let dir = std::env::temp_dir().join("seesaw-persist-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("arc-roundtrip.bin");
+        save_embeddings(&index, &path).unwrap();
+        let loaded = load_embeddings(&path, &cfg).unwrap();
+        assert_eq!(loaded.embeddings, index.embeddings);
+
+        let concept = ds.queries()[0].concept;
+        let user = SimulatedUser::new(&ds);
+        let mut direct = Session::start(&index, &ds, concept, MethodConfig::seesaw());
+        let service = SearchService::new(loaded, Arc::clone(&ds));
+        let id = service
+            .create_session(concept, MethodConfig::seesaw())
+            .unwrap();
+        for _ in 0..4 {
+            let a = direct.next_batch(2);
+            let b = match service.next_batch(id, 2).unwrap() {
+                Batch::Images(v) => v,
+                Batch::Exhausted => Vec::new(),
+            };
+            assert_eq!(a, b, "loaded index must rank identically");
+            for img in a {
+                let fb = user.annotate(img, concept);
+                service.feedback(id, fb.clone()).unwrap();
+                direct.feedback(fb);
+            }
+        }
         std::fs::remove_file(&path).ok();
     }
 

@@ -116,7 +116,14 @@ impl Preprocessor {
     }
 
     /// Run the full pass over a dataset.
-    pub fn build(&self, dataset: &SyntheticDataset) -> DatasetIndex {
+    ///
+    /// Returns the index behind `Arc`: it is immutable after
+    /// construction and designed to be shared — across [`crate::Session`]s,
+    /// across threads, and by a long-lived
+    /// [`crate::service::SearchService`]. Callers that need to modify a
+    /// built index (e.g. to swap the store backend) clone the inner
+    /// value first: `let mut owned = (*index).clone()`.
+    pub fn build(&self, dataset: &SyntheticDataset) -> std::sync::Arc<DatasetIndex> {
         let cfg = &self.config;
         let model = &dataset.model;
         let dim = model.dim();
@@ -193,14 +200,14 @@ impl Preprocessor {
             });
         }
 
-        rebuild_from_embeddings(
+        std::sync::Arc::new(rebuild_from_embeddings(
             dim,
             embeddings,
             patches,
             image_patch_ranges,
             cfg.multiscale,
             cfg,
-        )
+        ))
     }
 }
 

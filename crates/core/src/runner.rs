@@ -3,6 +3,7 @@
 //! or 60 shown, and return the trace plus per-iteration system latency
 //! (the Table 6 measurement).
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use seesaw_dataset::SyntheticDataset;
@@ -27,7 +28,7 @@ pub struct RunOutcome {
 
 /// Run `concept` against `index` with `method`, following `protocol`.
 pub fn run_benchmark_query(
-    index: &DatasetIndex,
+    index: &Arc<DatasetIndex>,
     dataset: &SyntheticDataset,
     concept: ConceptId,
     method: MethodConfig,

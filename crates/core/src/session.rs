@@ -23,6 +23,7 @@ use seesaw_embed::ConceptId;
 use seesaw_knn::{propagate_labels, LabelPropConfig, SigmaRule};
 use seesaw_linalg::normalized;
 use seesaw_vecstore::VectorStore;
+use std::sync::Arc;
 
 use crate::index::DatasetIndex;
 use crate::user::Feedback;
@@ -219,13 +220,19 @@ enum State {
 }
 
 /// One running query against one index.
-pub struct Session<'a> {
-    index: &'a DatasetIndex,
+///
+/// The session *owns* a handle to its index (`Arc<DatasetIndex>`), so it
+/// is `Send + 'static` and can be parked in a registry, moved across
+/// threads, or held by a long-lived [`crate::service::SearchService`] —
+/// no borrowed lifetime ties it to a stack frame.
+pub struct Session {
+    index: Arc<DatasetIndex>,
     concept: ConceptId,
     q0: Vec<f32>,
     query: Vec<f32>,
     seen: Vec<bool>,
     n_seen: usize,
+    n_feedback: usize,
     pending: Vec<ImageId>,
     state: State,
     /// Labeled patch examples shared by the aligner-family methods.
@@ -239,12 +246,12 @@ pub struct Session<'a> {
     search_k: usize,
 }
 
-impl<'a> Session<'a> {
+impl Session {
     /// Start a search for `concept` using the dataset's text tower for
     /// `q₀` (Listing 1, line 2).
     pub fn start(
-        index: &'a DatasetIndex,
-        dataset: &'a SyntheticDataset,
+        index: &Arc<DatasetIndex>,
+        dataset: &SyntheticDataset,
         concept: ConceptId,
         config: MethodConfig,
     ) -> Self {
@@ -254,7 +261,7 @@ impl<'a> Session<'a> {
 
     /// Start with an explicit initial query vector.
     pub fn start_with_q0(
-        index: &'a DatasetIndex,
+        index: &Arc<DatasetIndex>,
         concept: ConceptId,
         q0: Vec<f32>,
         config: MethodConfig,
@@ -347,13 +354,15 @@ impl<'a> Session<'a> {
                 q0.clone(),
             ),
         };
+        let seen = vec![false; index.n_images()];
         let mut session = Self {
-            index,
+            index: Arc::clone(index),
             concept,
             q0,
             query,
-            seen: vec![false; index.n_images()],
+            seen,
             n_seen: 0,
+            n_feedback: 0,
             pending: Vec::new(),
             state,
             example_patches: Vec::new(),
@@ -408,6 +417,11 @@ impl<'a> Session<'a> {
     /// Images shown so far.
     pub fn n_seen(&self) -> usize {
         self.n_seen
+    }
+
+    /// Feedback items accepted so far.
+    pub fn n_feedback(&self) -> usize {
+        self.n_feedback
     }
 
     /// Next batch of up to `n` unseen images (Listing 1, line 4). Fewer
@@ -475,13 +489,26 @@ impl<'a> Session<'a> {
     ///
     /// # Panics
     /// Panics when the image was not handed out by [`Self::next_batch`].
+    /// Server-shaped callers that must not crash on bad client input
+    /// should use [`Self::try_feedback`] instead.
     pub fn feedback(&mut self, fb: Feedback) {
-        let pos = self
-            .pending
-            .iter()
-            .position(|&i| i == fb.image)
-            .expect("feedback for an image that was not shown");
+        assert!(
+            self.try_feedback(fb),
+            "feedback for an image that was not shown"
+        );
+    }
+
+    /// Record feedback like [`Self::feedback`], but report an
+    /// out-of-protocol image (one not handed out by
+    /// [`Self::next_batch`], or already answered) as `false` instead of
+    /// panicking. The session state is untouched when `false` is
+    /// returned.
+    pub fn try_feedback(&mut self, fb: Feedback) -> bool {
+        let Some(pos) = self.pending.iter().position(|&i| i == fb.image) else {
+            return false;
+        };
         self.pending.swap_remove(pos);
+        self.n_feedback += 1;
         if fb.relevant {
             self.any_positive = true;
         }
@@ -545,7 +572,7 @@ impl<'a> Session<'a> {
             } => {
                 *round += 1;
                 self.query = prop_align(
-                    self.index,
+                    &self.index,
                     &self.q0,
                     &self.example_patches,
                     &self.example_labels,
@@ -556,6 +583,7 @@ impl<'a> Session<'a> {
                 );
             }
         }
+        true
     }
 }
 
@@ -646,7 +674,7 @@ mod tests {
     use crate::user::SimulatedUser;
     use seesaw_dataset::DatasetSpec;
 
-    fn setup() -> (SyntheticDataset, DatasetIndex) {
+    fn setup() -> (SyntheticDataset, Arc<DatasetIndex>) {
         let ds = DatasetSpec::coco_like(0.001)
             .with_max_queries(10)
             .generate(21);

@@ -1,26 +1,31 @@
-//! The "server layer" of Fig. 3 in action: one [`Engine`] serving many
-//! concurrent user sessions over a shared preprocessed index — each
-//! user searching a different concept with a different method, from its
-//! own thread.
+//! The "server layer" of Fig. 3 in action: one owned
+//! [`SearchService`] serving many concurrent user sessions over a
+//! shared preprocessed index — each user searching a different concept
+//! with a different method, from its own *spawned* (non-scoped) thread,
+//! which only works because the service is `Arc`-shareable and
+//! `'static`. The last user speaks the wire protocol instead of the
+//! typed API, showing the transport-ready path.
 //!
 //! ```sh
 //! cargo run --release --example search_server
 //! ```
 
-use seesaw::core::{Engine, SessionId};
+use seesaw::core::protocol::{MethodSpec, Request, Response};
 use seesaw::prelude::*;
+use std::sync::Arc;
 
 fn main() {
-    let dataset = DatasetSpec::lvis_like(0.003)
-        .with_max_queries(12)
-        .generate(11);
+    let dataset = Arc::new(
+        DatasetSpec::lvis_like(0.003)
+            .with_max_queries(12)
+            .generate(11),
+    );
     let index = Preprocessor::new(PreprocessConfig::fast()).build(&dataset);
-    let engine = Engine::new(&index, &dataset);
-    let user = SimulatedUser::new(&dataset);
+    let service = Arc::new(SearchService::new(index, Arc::clone(&dataset)));
     println!(
-        "engine over {} images ({} patch vectors); {} available queries\n",
-        index.n_images(),
-        index.n_patches(),
+        "service over {} images ({} patch vectors); {} available queries\n",
+        service.index().n_images(),
+        service.index().n_patches(),
         dataset.queries().len()
     );
 
@@ -39,41 +44,37 @@ fn main() {
         })
         .collect();
 
-    let results: Vec<(u32, &str, SessionId, usize, usize)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = assignments
-            .iter()
-            .map(|(concept, method_name, cfg)| {
-                let engine = &engine;
-                let user = &user;
-                let cfg = cfg.clone();
-                let concept = *concept;
-                let method_name = *method_name;
-                scope.spawn(move || {
-                    let id = engine.create_session(concept, cfg);
-                    let mut found = 0usize;
-                    let mut shown = 0usize;
-                    while found < 5 && shown < 40 {
-                        let Some(batch) = engine.next_batch(id, 2) else {
-                            break;
-                        };
-                        if batch.is_empty() {
-                            break;
+    let handles: Vec<_> = assignments
+        .into_iter()
+        .map(|(concept, method_name, cfg)| {
+            let service = Arc::clone(&service);
+            let dataset = Arc::clone(&dataset);
+            // Plain `std::thread::spawn`: the service is owned, so no
+            // scope (and no lifetime) is needed to share it.
+            std::thread::spawn(move || {
+                let user = SimulatedUser::new(&dataset);
+                let id = service.create_session(concept, cfg).expect("valid concept");
+                let mut found = 0usize;
+                let mut shown = 0usize;
+                'search: while found < 5 && shown < 40 {
+                    let batch = match service.next_batch(id, 2).expect("session is live") {
+                        Batch::Images(images) => images,
+                        Batch::Exhausted => break 'search,
+                    };
+                    for img in batch {
+                        shown += 1;
+                        let fb = user.annotate(img, concept);
+                        if fb.relevant {
+                            found += 1;
                         }
-                        for img in batch {
-                            shown += 1;
-                            let fb = user.annotate(img, concept);
-                            if fb.relevant {
-                                found += 1;
-                            }
-                            engine.feedback(id, fb);
-                        }
+                        service.feedback(id, fb).expect("image was just shown");
                     }
-                    (concept, method_name, id, found, shown)
-                })
+                }
+                (concept, method_name, id, found, shown)
             })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    });
+        })
+        .collect();
+    let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
 
     println!(
         "{:<10} {:<10} {:>6} {:>6} {:>10}",
@@ -81,9 +82,49 @@ fn main() {
     );
     println!("{}", "-".repeat(46));
     for (concept, method, id, found, shown) in results {
-        let drift = engine.stats(id).map(|s| s.query_drift).unwrap_or(f32::NAN);
+        let drift = service.stats(id).map(|s| s.query_drift).unwrap_or(f32::NAN);
         println!("{concept:<10} {method:<10} {found:>6} {shown:>6} {drift:>10.3}");
-        engine.close(id);
+        service.close(id).expect("session still live");
     }
-    println!("\nlive sessions after cleanup: {}", engine.live_sessions());
+
+    // One more user, this time over the wire protocol: every message is
+    // a single JSON line, so this loop could run across any transport.
+    let concept = dataset.queries()[6 % dataset.queries().len()].concept;
+    println!("\nwire-protocol user (concept {concept}):");
+    let request = Request::Create {
+        concept,
+        method: MethodSpec::SeeSaw,
+        search_k: None,
+    }
+    .encode();
+    println!("  -> {request}");
+    let reply = service.handle_line(&request);
+    println!("  <- {reply}");
+    let Response::Created { session } = Response::decode(&reply).expect("valid reply") else {
+        panic!("create failed: {reply}");
+    };
+    let user = SimulatedUser::new(&dataset);
+    for _ in 0..3 {
+        let request = Request::NextBatch { session, n: 1 }.encode();
+        let reply = service.handle_line(&request);
+        println!("  -> {request}\n  <- {reply}");
+        let Response::Batch { images } = Response::decode(&reply).expect("valid reply") else {
+            break;
+        };
+        for image in images {
+            let fb = user.annotate(image, concept);
+            let request = Request::Feedback {
+                session,
+                image,
+                relevant: fb.relevant,
+                boxes: fb.boxes,
+            }
+            .encode();
+            let reply = service.handle_line(&request);
+            println!("  -> {request}\n  <- {reply}");
+        }
+    }
+    let reply = service.handle_line(&Request::Close { session }.encode());
+    println!("  -> close\n  <- {reply}");
+    println!("\nlive sessions after cleanup: {}", service.live_sessions());
 }

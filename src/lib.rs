@@ -22,18 +22,25 @@
 //!   (CLIP alignment + database alignment) and its L-BFGS solve.
 //! * [`baselines`] — Rocchio, few-shot CLIP, and Efficient Nonmyopic
 //!   Search.
-//! * [`core`] — multiscale tiling, the preprocessing pipeline, and the
-//!   interactive [`core::Session`] implementing Listing 1 of the paper.
+//! * [`core`] — multiscale tiling, the preprocessing pipeline, the
+//!   interactive [`core::Session`] implementing Listing 1 of the paper,
+//!   and the serving layer: [`core::SearchService`] (owned,
+//!   per-session-locked, typed errors) plus the [`core::protocol`]
+//!   request/response line codec.
 //! * [`metrics`] — the paper's Average Precision protocol and summary
 //!   statistics.
 //!
 //! ## Quickstart
+//!
+//! Embedded, single-session use drives a [`core::Session`] directly
+//! (Listing 1 of the paper):
 //!
 //! ```
 //! use seesaw::prelude::*;
 //!
 //! // A small BDD-like dataset (street scenes, rare small objects).
 //! let dataset = DatasetSpec::bdd_like(0.001).generate(7);
+//! // Preprocessing returns Arc<DatasetIndex>: immutable, shareable.
 //! let index = Preprocessor::new(PreprocessConfig::fast()).build(&dataset);
 //!
 //! // Interactive loop: text query, then box feedback (Listing 1).
@@ -52,6 +59,38 @@
 //!     }
 //! }
 //! ```
+//!
+//! Serving many users goes through an [`core::SearchService`] — owned
+//! (`Arc`-shareable, `Send + Sync + 'static`), locking per session, and
+//! speaking a serializable request/response protocol so it can sit
+//! behind any transport:
+//!
+//! ```
+//! use seesaw::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let dataset = Arc::new(DatasetSpec::coco_like(0.001).generate(42));
+//! let index = Preprocessor::new(PreprocessConfig::fast()).build(&dataset);
+//! let service = Arc::new(SearchService::new(index, Arc::clone(&dataset)));
+//!
+//! // Typed API: every failure is a ServiceError, and exhaustion is a
+//! // Batch variant — not an empty vector or a None.
+//! let concept = dataset.queries()[0].concept;
+//! let id = service.create_session(concept, MethodConfig::seesaw())?;
+//! let user = SimulatedUser::new(&dataset);
+//! if let Batch::Images(images) = service.next_batch(id, 2)? {
+//!     for image in images {
+//!         service.feedback(id, user.annotate(image, concept))?;
+//!     }
+//! }
+//! assert_eq!(service.stats(id)?.images_shown, 2);
+//!
+//! // Wire protocol: one JSON line per message, no external deps.
+//! let reply = service.handle_line(&Request::Stats { session: id.raw() }.encode());
+//! assert!(matches!(Response::decode(&reply)?, Response::Stats { images_shown: 2, .. }));
+//! service.close(id)?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 pub use seesaw_aligner as aligner;
 pub use seesaw_baselines as baselines;
@@ -69,7 +108,8 @@ pub mod prelude {
     pub use seesaw_aligner::{AlignerConfig, QueryAligner};
     pub use seesaw_baselines::{EnsConfig, RocchioConfig};
     pub use seesaw_core::{
-        Feedback, Method, MethodConfig, PreprocessConfig, Preprocessor, Session, SimulatedUser,
+        Batch, Feedback, Method, MethodConfig, MethodSpec, PreprocessConfig, Preprocessor, Request,
+        Response, SearchService, ServiceError, Session, SessionId, SessionStats, SimulatedUser,
     };
     pub use seesaw_dataset::{DatasetSpec, SyntheticDataset};
     pub use seesaw_embed::EmbeddingModel;

@@ -8,8 +8,8 @@ use seesaw::prelude::*;
 
 struct Bench {
     ds: SyntheticDataset,
-    index: seesaw::core::DatasetIndex,
-    coarse: seesaw::core::DatasetIndex,
+    index: std::sync::Arc<seesaw::core::DatasetIndex>,
+    coarse: std::sync::Arc<seesaw::core::DatasetIndex>,
 }
 
 fn build(spec: DatasetSpec, seed: u64) -> Bench {
