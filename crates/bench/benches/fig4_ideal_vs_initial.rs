@@ -17,9 +17,8 @@ use seesaw_metrics::{median, quantile, ranking_average_precision, TableBuilder};
 /// Full-ranking AP of a fixed query vector over all coarse embeddings —
 /// the §3.1 metric (the whole database is ranked, no truncation).
 fn full_ap(index: &DatasetIndex, dataset: &SyntheticDataset, concept: ConceptId, q: &[f32]) -> f64 {
-    let mut scored: Vec<(f32, u32)> = (0..index.n_images() as u32)
-        .map(|i| (seesaw_linalg::dot(q, index.coarse_vector(i)), i))
-        .collect();
+    // One blocked GEMV over the coarse embeddings, not N row loops.
+    let mut scored: Vec<(f32, u32)> = index.coarse_scores(q).into_iter().zip(0u32..).collect();
     scored.sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
     let relevance: Vec<bool> = scored
         .iter()

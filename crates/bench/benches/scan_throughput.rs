@@ -1,0 +1,291 @@
+//! **Dense-scan throughput** — the repo's perf-trajectory anchor for
+//! the vector-store hot path (paper §2.2: the per-round latency budget
+//! is what forces approximate indexes; this harness measures how fast
+//! the *exact* scan actually is).
+//!
+//! Three comparisons, swept over `dim ∈ {64, 128, 512}`:
+//!
+//! 1. **scalar vs kernel** — the historical per-row scalar `dot` with
+//!    sorted-buffer `Vec::insert` selection, against the blocked
+//!    kernel scan with bounded heap selection ([`ExactStore`]'s
+//!    current path). Reported as rows/sec.
+//! 2. **single vs batched** — `Q ∈ {1, 4, 16}` queries answered by `Q`
+//!    sequential scans vs one [`VectorStore::top_k_many`] batch
+//!    (one pass over memory). Reported as queries/sec.
+//! 3. A bitwise self-check that the batched results equal the
+//!    sequential ones (the `top_k_many` contract).
+//!
+//! Results are written to `BENCH_scan.json` at the repo root (override
+//! with `SEESAW_BENCH_OUT`) — CI runs this harness in release mode,
+//! uploads the JSON as an artifact, and the harness **exits non-zero
+//! if the kernel scan is slower than the scalar scan at dim 512**
+//! (disable the gate with `SEESAW_SCAN_STRICT=0` on noisy machines).
+//! See the README "Performance" section for how to read the file.
+//!
+//! Knobs: `SEESAW_SCAN_ROWS` (default 8192) sizes the store.
+//!
+//! ```sh
+//! cargo bench --bench scan_throughput
+//! SEESAW_SCAN_ROWS=20000 cargo bench --bench scan_throughput
+//! ```
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use seesaw_bench::env_usize;
+use seesaw_linalg::{dot_scalar, random_unit_vector};
+use seesaw_vecstore::{ExactStore, Hit, VectorStore};
+
+const DIMS: [usize; 3] = [64, 128, 512];
+const QUERY_COUNTS: [usize; 3] = [1, 4, 16];
+const K: usize = 10;
+/// The dim whose scalar-vs-kernel ratio gates CI (the largest: most
+/// memory-bound, least noise-sensitive).
+const GATE_DIM: usize = 512;
+
+/// The pre-kernel exact scan, reconstructed faithfully: one scalar
+/// `dot` per row and an O(k) sorted-buffer insert per accepted
+/// candidate. This is the baseline the kernel path must beat.
+fn scalar_top_k(dim: usize, data: &[f32], query: &[f32], k: usize) -> Vec<Hit> {
+    let mut best: Vec<Hit> = Vec::with_capacity(k + 1);
+    let mut threshold = f32::NEG_INFINITY;
+    for (i, v) in data.chunks_exact(dim).enumerate() {
+        let score = dot_scalar(query, v);
+        if best.len() < k || score > threshold {
+            let pos = best
+                .binary_search_by(|h| {
+                    score
+                        .partial_cmp(&h.score)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .unwrap_or_else(|e| e);
+            best.insert(
+                pos,
+                Hit {
+                    id: i as u32,
+                    score,
+                },
+            );
+            if best.len() > k {
+                best.pop();
+            }
+            threshold = best.last().map(|h| h.score).unwrap_or(f32::NEG_INFINITY);
+        }
+    }
+    best.sort_unstable_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.id.cmp(&b.id))
+    });
+    best
+}
+
+/// Best-of-three seconds-per-call, each sample sized from a pilot run
+/// to take ~80 ms (minimum throughput noise without criterion's
+/// machinery; min-of-samples discards scheduler hiccups).
+fn time_per_call<T>(mut f: impl FnMut() -> T) -> f64 {
+    let pilot_start = Instant::now();
+    black_box(f());
+    let pilot = pilot_start.elapsed().as_secs_f64().max(1e-9);
+    let iters = (0.08 / pilot).ceil().clamp(1.0, 20_000.0) as usize;
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        best = best.min(start.elapsed().as_secs_f64() / iters as f64);
+    }
+    best
+}
+
+struct BatchedResult {
+    queries: usize,
+    sequential_qps: f64,
+    batched_qps: f64,
+}
+
+struct DimResult {
+    dim: usize,
+    scalar_rows_per_sec: f64,
+    kernel_rows_per_sec: f64,
+    batched: Vec<BatchedResult>,
+}
+
+fn main() {
+    let rows = env_usize("SEESAW_SCAN_ROWS", 8192);
+    let strict = env_usize("SEESAW_SCAN_STRICT", 1) != 0;
+    let mut results: Vec<DimResult> = Vec::new();
+
+    for &dim in &DIMS {
+        eprintln!("[scan] dim {dim}: building {rows} rows…");
+        let mut rng = StdRng::seed_from_u64(0x5ca0 ^ dim as u64);
+        let mut data = Vec::with_capacity(rows * dim);
+        for _ in 0..rows {
+            data.extend_from_slice(&random_unit_vector(&mut rng, dim));
+        }
+        let store = ExactStore::new(dim, data.clone());
+        let queries_data: Vec<Vec<f32>> = (0..QUERY_COUNTS[QUERY_COUNTS.len() - 1])
+            .map(|_| random_unit_vector(&mut rng, dim))
+            .collect();
+        let q0 = queries_data[0].as_slice();
+
+        // Correctness first: same ids out of both scan generations.
+        let scalar_hits = scalar_top_k(dim, &data, q0, K);
+        let kernel_hits = store.top_k(q0, K);
+        assert_eq!(
+            scalar_hits.iter().map(|h| h.id).collect::<Vec<_>>(),
+            kernel_hits.iter().map(|h| h.id).collect::<Vec<_>>(),
+            "scalar and kernel scans disagree on the top-{K}"
+        );
+
+        let scalar_secs = time_per_call(|| scalar_top_k(dim, &data, q0, K));
+        let kernel_secs = time_per_call(|| store.top_k(q0, K));
+        let scalar_rows_per_sec = rows as f64 / scalar_secs;
+        let kernel_rows_per_sec = rows as f64 / kernel_secs;
+        eprintln!(
+            "[scan] dim {dim}: scalar {scalar_rows_per_sec:.3e} rows/s, \
+             kernel {kernel_rows_per_sec:.3e} rows/s ({:.2}x)",
+            kernel_rows_per_sec / scalar_rows_per_sec
+        );
+
+        let mut batched = Vec::new();
+        for &nq in &QUERY_COUNTS {
+            let qrefs: Vec<&[f32]> = queries_data[..nq].iter().map(|v| v.as_slice()).collect();
+            // The top_k_many contract: batched ≡ sequential, bit for bit.
+            let batch = store.top_k_many(&qrefs, K, usize::MAX, &|_| true);
+            for (q, hits) in qrefs.iter().zip(&batch) {
+                let sequential = store.top_k_budgeted(q, K, usize::MAX, &|_| true);
+                assert_eq!(&sequential, hits, "batched result diverged (Q={nq})");
+            }
+            let seq_secs = time_per_call(|| {
+                qrefs
+                    .iter()
+                    .map(|q| store.top_k_budgeted(q, K, usize::MAX, &|_| true))
+                    .collect::<Vec<_>>()
+            });
+            let batch_secs = time_per_call(|| store.top_k_many(&qrefs, K, usize::MAX, &|_| true));
+            let res = BatchedResult {
+                queries: nq,
+                sequential_qps: nq as f64 / seq_secs,
+                batched_qps: nq as f64 / batch_secs,
+            };
+            eprintln!(
+                "[scan] dim {dim}, Q={nq}: sequential {:.3e} q/s, batched {:.3e} q/s ({:.2}x)",
+                res.sequential_qps,
+                res.batched_qps,
+                res.batched_qps / res.sequential_qps
+            );
+            batched.push(res);
+        }
+
+        results.push(DimResult {
+            dim,
+            scalar_rows_per_sec,
+            kernel_rows_per_sec,
+            batched,
+        });
+    }
+
+    // Human-readable summary.
+    println!("# scan_throughput ({rows} rows, k = {K})");
+    println!("dim | scalar rows/s | kernel rows/s | kernel speedup");
+    for r in &results {
+        println!(
+            "{:>3} | {:>13.3e} | {:>13.3e} | {:>13.2}x",
+            r.dim,
+            r.scalar_rows_per_sec,
+            r.kernel_rows_per_sec,
+            r.kernel_rows_per_sec / r.scalar_rows_per_sec
+        );
+    }
+    println!("dim |  Q | sequential q/s | batched q/s | batched speedup");
+    for r in &results {
+        for b in &r.batched {
+            println!(
+                "{:>3} | {:>2} | {:>14.3e} | {:>11.3e} | {:>14.2}x",
+                r.dim,
+                b.queries,
+                b.sequential_qps,
+                b.batched_qps,
+                b.batched_qps / b.sequential_qps
+            );
+        }
+    }
+
+    // JSON for the perf trajectory.
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"scan_throughput\",");
+    let _ = writeln!(json, "  \"rows\": {rows},");
+    let _ = writeln!(json, "  \"k\": {K},");
+    let _ = writeln!(json, "  \"configs\": [");
+    for (i, r) in results.iter().enumerate() {
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"dim\": {},", r.dim);
+        let _ = writeln!(
+            json,
+            "      \"scalar_rows_per_sec\": {:.0},",
+            r.scalar_rows_per_sec
+        );
+        let _ = writeln!(
+            json,
+            "      \"kernel_rows_per_sec\": {:.0},",
+            r.kernel_rows_per_sec
+        );
+        let _ = writeln!(
+            json,
+            "      \"kernel_speedup\": {:.3},",
+            r.kernel_rows_per_sec / r.scalar_rows_per_sec
+        );
+        let _ = writeln!(json, "      \"batched\": [");
+        for (j, b) in r.batched.iter().enumerate() {
+            let _ = write!(
+                json,
+                "        {{\"queries\": {}, \"sequential_queries_per_sec\": {:.0}, \
+                 \"batched_queries_per_sec\": {:.0}, \"batched_speedup\": {:.3}}}",
+                b.queries,
+                b.sequential_qps,
+                b.batched_qps,
+                b.batched_qps / b.sequential_qps
+            );
+            let _ = writeln!(json, "{}", if j + 1 < r.batched.len() { "," } else { "" });
+        }
+        let _ = writeln!(json, "      ]");
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if i + 1 < results.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+
+    let out_path = std::env::var("SEESAW_BENCH_OUT")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scan.json").into());
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    eprintln!("[scan] wrote {out_path}");
+
+    // CI gate: the kernel path must not be slower than the scalar path
+    // at the gate dim. (Small dims stay informational — they are too
+    // noise-prone on shared runners to gate on.)
+    let gate = results
+        .iter()
+        .find(|r| r.dim == GATE_DIM)
+        .expect("gate dim missing");
+    let speedup = gate.kernel_rows_per_sec / gate.scalar_rows_per_sec;
+    if speedup < 1.0 {
+        eprintln!(
+            "[scan] FAIL: kernel scan is slower than the scalar scan at dim {GATE_DIM} \
+             ({speedup:.2}x)"
+        );
+        if strict {
+            std::process::exit(1);
+        }
+        eprintln!("[scan] SEESAW_SCAN_STRICT=0 set; not failing");
+    }
+}

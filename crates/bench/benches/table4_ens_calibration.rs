@@ -53,9 +53,8 @@ fn main() {
                             // truth for THIS query — the paper's
                             // deliberately unrealistic oracle.
                             let q0 = dataset.model.embed_text(concept);
-                            let scores: Vec<f32> = (0..index.n_images() as u32)
-                                .map(|i| seesaw_linalg::dot(&q0, index.coarse_vector(i)))
-                                .collect();
+                            // One blocked GEMV over the coarse block.
+                            let scores = index.coarse_scores(&q0);
                             let labels: Vec<bool> = (0..index.n_images() as u32)
                                 .map(|i| dataset.truth.is_relevant(concept, i))
                                 .collect();

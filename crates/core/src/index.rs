@@ -84,4 +84,75 @@ impl DatasetIndex {
             .map(|p| seesaw_linalg::dot(query, self.patch_vector(p)))
             .fold(f32::NEG_INFINITY, f32::max)
     }
+
+    /// Inner product of `query` with every coarse (full-image)
+    /// embedding, in image order — the `N × d` GEMV behind the ENS
+    /// raw-CLIP prior (§5.4) and the zero-shot full-ranking metrics.
+    ///
+    /// Runs as blocked kernel calls instead of `N` separate row loops:
+    /// a coarse-only index is one [`seesaw_linalg::gemv1_into`] over
+    /// the contiguous embedding block; a multiscale index gathers
+    /// coarse rows in blocks and scores each block while it is cache
+    /// resident. Scores are bit-identical to per-image
+    /// `dot(query, coarse_vector(i))` calls.
+    ///
+    /// # Panics
+    /// Panics when `query.len() != self.dim`.
+    pub fn coarse_scores(&self, query: &[f32]) -> Vec<f32> {
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        let n = self.n_images();
+        let mut out = vec![0.0f32; n];
+        if self.n_patches() == n {
+            // One patch per image ⇒ coarse rows are the whole block.
+            seesaw_linalg::gemv1_into(self.embeddings.as_slice(), self.dim, query, &mut out);
+            return out;
+        }
+        const GATHER_BLOCK: usize = 32;
+        let mut scratch = vec![0.0f32; GATHER_BLOCK.min(n.max(1)) * self.dim];
+        for (block_i, ids) in self.coarse_patches.chunks(GATHER_BLOCK).enumerate() {
+            for (j, &p) in ids.iter().enumerate() {
+                scratch[j * self.dim..(j + 1) * self.dim].copy_from_slice(self.patch_vector(p));
+            }
+            seesaw_linalg::gemv1_into(
+                &scratch[..ids.len() * self.dim],
+                self.dim,
+                query,
+                &mut out[block_i * GATHER_BLOCK..block_i * GATHER_BLOCK + ids.len()],
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::preprocess::{PreprocessConfig, Preprocessor};
+    use seesaw_dataset::DatasetSpec;
+    use seesaw_linalg::random_unit_vector;
+
+    #[test]
+    fn coarse_scores_match_per_image_dot_bitwise() {
+        let ds = DatasetSpec::coco_like(0.001)
+            .with_max_queries(5)
+            .generate(31);
+        for coarse_only in [true, false] {
+            let mut cfg = PreprocessConfig::fast();
+            cfg.multiscale = !coarse_only;
+            let idx = Preprocessor::new(cfg).build(&ds);
+            let q = random_unit_vector(
+                &mut <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3),
+                idx.dim,
+            );
+            let scores = idx.coarse_scores(&q);
+            assert_eq!(scores.len(), idx.n_images());
+            for (img, &s) in scores.iter().enumerate() {
+                let reference = seesaw_linalg::dot(&q, idx.coarse_vector(img as u32));
+                assert_eq!(
+                    s.to_bits(),
+                    reference.to_bits(),
+                    "image {img}, coarse_only={coarse_only}"
+                );
+            }
+        }
+    }
 }

@@ -294,11 +294,12 @@ impl Session {
                     // Raw CLIP prior (§5.4): the cosine score used
                     // directly as γ_i, clamped into (0, 1) — like real
                     // CLIP scores, deliberately *uncalibrated* when
-                    // interpreted as probabilities.
-                    (0..index.n_images() as u32)
-                        .map(|img| {
-                            seesaw_linalg::dot(&q0, index.coarse_vector(img)).clamp(0.001, 0.999)
-                        })
+                    // interpreted as probabilities. One blocked GEMV
+                    // over the coarse embeddings, not N row loops.
+                    index
+                        .coarse_scores(&q0)
+                        .into_iter()
+                        .map(|s| s.clamp(0.001, 0.999))
                         .collect()
                 });
                 let searcher = EnsSearcher::new(

@@ -97,10 +97,15 @@ impl DenseMatrix {
         self.data[i * self.cols + j] = v;
     }
 
-    /// `y = A·x` (length `rows`).
+    /// `y = A·x` (length `rows`), computed by the blocked
+    /// [`crate::kernels::gemv1_into`] kernel.
     pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
         assert_eq!(x.len(), self.cols);
-        (0..self.rows).map(|i| dot(self.row(i), x)).collect()
+        let mut y = vec![0.0f32; self.rows];
+        if self.cols > 0 {
+            crate::kernels::gemv1_into(&self.data, self.cols, x, &mut y);
+        }
+        y
     }
 
     /// `y = Aᵀ·x` (length `cols`).

@@ -1,0 +1,321 @@
+//! Blocked scoring kernels — the single scoring primitive of the
+//! workspace.
+//!
+//! Every inner product computed anywhere in the SeeSaw reproduction
+//! (vector-store scans, ENS priors, aligner quadratic forms, kNN
+//! builds) funnels through [`dot`], and the batched paths funnel
+//! through [`gemv_into`]. Centralizing the arithmetic buys two things:
+//!
+//! 1. **Speed.** [`dot`] accumulates in eight independent lanes over
+//!    `chunks_exact(8)`, which breaks the serial floating-point
+//!    dependency chain of a naive loop and lets the auto-vectorizer
+//!    emit SIMD reductions; [`gemv_into`] additionally *blocks* over
+//!    rows so that a block of the row matrix is read from memory once
+//!    and scored against every query while it is cache resident. On
+//!    the memory-bandwidth-bound dense scan this is the difference
+//!    between being bound by compute latency and being bound by DRAM.
+//! 2. **Determinism by construction.** All backends score through the
+//!    same kernel, so cross-backend bit-identity guarantees (e.g.
+//!    sharded-exact ≡ exact in `tests/store_equivalence.rs`) hold
+//!    without per-backend care.
+//!
+//! # Kernel contracts
+//!
+//! * **Fixed accumulation order.** [`dot`] sums lane-major:
+//!   `((l0+l4)+(l1+l5)) + ((l2+l6)+(l3+l7))` over the eight lane
+//!   accumulators, then adds the scalar remainder term. This order is
+//!   part of the public contract — it is *the* canonical summation
+//!   order of the workspace — and every batched kernel ([`gemv_into`],
+//!   [`gemv1_into`]) computes each score by the exact same sequence of
+//!   operations, so `gemv_into` output is bit-identical to calling
+//!   [`dot`] per row.
+//! * **Determinism.** Given identical inputs, every kernel returns
+//!   bit-identical results on every call (no threading, no
+//!   data-dependent reassociation).
+//! * **Panics.** [`dot`] and the blocked kernels ([`gemv_into`],
+//!   [`gemv1_into`], [`normalize_rows`]) panic in **all** builds on a
+//!   shape mismatch (`a.len() != b.len()`, a buffer that is not a
+//!   multiple of `dim`, an `out` slice of the wrong length): the
+//!   unrolled remainder handling would silently pair misaligned tails
+//!   otherwise, and the length-equality fact is exactly what lets the
+//!   optimizer vectorize the lane loop. The element-wise kernels
+//!   ([`axpy`], [`scale_add`]) keep the historical `debug_assert!`
+//!   contract (their release fallback — truncating to the common
+//!   prefix — is well defined).
+
+/// Accumulator lanes in [`dot`]. Eight `f32` lanes fill one 256-bit
+/// SIMD register; the auto-vectorizer keeps the whole accumulator
+/// state in a single vector register on AVX2-class hardware.
+const LANES: usize = 8;
+
+/// Rows per cache block in [`gemv_into`]: `16 × 512 dims × 4 B = 32 KiB`
+/// at the largest common embedding width — sized to stay L1-resident
+/// while a block is re-scored against every query of a batch.
+const ROW_BLOCK: usize = 16;
+
+/// Inner product `a · b` — the workspace's canonical scoring kernel.
+///
+/// Multi-accumulator unrolled over eight lanes with the fixed
+/// combination order documented in the [module docs](self); the
+/// auto-vectorizer turns the lane loop into SIMD on `-O`.
+///
+/// # Panics
+/// Panics if the slices have different lengths — in every build: the
+/// asserted equality is also what lets the optimizer keep the lane
+/// loop vectorized at every call site.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    let mut acc = [0.0f32; LANES];
+    let mut ca = a.chunks_exact(LANES);
+    let mut cb = b.chunks_exact(LANES);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        for l in 0..LANES {
+            acc[l] += xa[l] * xb[l];
+        }
+    }
+    let mut tail = 0.0f32;
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        tail += x * y;
+    }
+    ((acc[0] + acc[4]) + (acc[1] + acc[5])) + ((acc[2] + acc[6]) + (acc[3] + acc[7])) + tail
+}
+
+/// Scalar reference inner product: one pair per iteration, strictly
+/// left-to-right summation. This is the pre-kernel implementation, kept
+/// as the accuracy reference for the kernel proptests and as the
+/// baseline arm of the `scan_throughput` bench.
+#[inline]
+pub fn dot_scalar(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0f32;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// `y ← y + a·x` (axpy). Element-wise, so a plain fused loop
+/// auto-vectorizes without multi-accumulator tricks.
+///
+/// # Panics
+/// Panics in debug builds if the slices have different lengths.
+#[inline]
+pub fn axpy(y: &mut [f32], a: f32, x: &[f32]) {
+    debug_assert_eq!(y.len(), x.len());
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += a * xi;
+    }
+}
+
+/// Fused `y ← β·y + α·x` in a single pass — one load/store of `y`
+/// instead of the two that separate `scale` + `axpy` calls would do.
+/// Each element computes `(β·yᵢ) + (α·xᵢ)`, bit-identical to the
+/// unfused pair.
+///
+/// # Panics
+/// Panics in debug builds if the slices have different lengths.
+#[inline]
+pub fn scale_add(y: &mut [f32], beta: f32, alpha: f32, x: &[f32]) {
+    debug_assert_eq!(y.len(), x.len());
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi = beta * *yi + alpha * xi;
+    }
+}
+
+/// Blocked multi-query GEMV: score every row of `rows` (row-major,
+/// `n × dim`) against every query, writing query-major output
+/// (`out[q·n + r] = rows[r] · queries[q]`).
+///
+/// Rows are processed in cache-sized blocks: each block is read
+/// from memory once and scored against all `Q` queries while cache
+/// resident, so a batch of queries costs one pass over the data plus
+/// cache-speed re-reads instead of `Q` full passes. Each score is
+/// computed by [`dot`], so the output is bit-identical to the
+/// per-row/per-query scalar calls.
+///
+/// # Panics
+/// Panics when `dim == 0`, `rows.len()` is not a multiple of `dim`,
+/// any query's length differs from `dim`, or `out.len()` differs from
+/// `queries.len() * (rows.len() / dim)`.
+pub fn gemv_into(rows: &[f32], dim: usize, queries: &[&[f32]], out: &mut [f32]) {
+    assert!(dim > 0, "dimension must be positive");
+    assert_eq!(rows.len() % dim, 0, "buffer is not a multiple of dim");
+    let n = rows.len() / dim;
+    assert_eq!(out.len(), n * queries.len(), "output length mismatch");
+    for q in queries {
+        assert_eq!(q.len(), dim, "query dimension mismatch");
+    }
+    for block_start in (0..n).step_by(ROW_BLOCK) {
+        let block_end = (block_start + ROW_BLOCK).min(n);
+        for (qi, q) in queries.iter().enumerate() {
+            let out_q = &mut out[qi * n..(qi + 1) * n];
+            for r in block_start..block_end {
+                out_q[r] = dot(&rows[r * dim..(r + 1) * dim], q);
+            }
+        }
+    }
+}
+
+/// Single-query GEMV: `out[r] = rows[r] · query`. The `Q = 1` case of
+/// [`gemv_into`] without the dispatch overhead; same contracts.
+///
+/// # Panics
+/// Panics when `dim == 0`, `rows.len()` is not a multiple of `dim`,
+/// `query.len() != dim`, or `out.len() != rows.len() / dim`.
+pub fn gemv1_into(rows: &[f32], dim: usize, query: &[f32], out: &mut [f32]) {
+    assert!(dim > 0, "dimension must be positive");
+    assert_eq!(rows.len() % dim, 0, "buffer is not a multiple of dim");
+    assert_eq!(query.len(), dim, "query dimension mismatch");
+    assert_eq!(out.len(), rows.len() / dim, "output length mismatch");
+    for (o, row) in out.iter_mut().zip(rows.chunks_exact(dim)) {
+        *o = dot(row, query);
+    }
+}
+
+/// Normalize every `dim`-length row of `data` to unit length in one
+/// blocked pass. Rows with norm at or below `f32::EPSILON` are left
+/// untouched (no meaningful direction), matching
+/// [`crate::vector::normalize`] per row bit for bit.
+///
+/// # Panics
+/// Panics when `dim == 0` or `data.len()` is not a multiple of `dim`.
+pub fn normalize_rows(data: &mut [f32], dim: usize) {
+    assert!(dim > 0, "dimension must be positive");
+    assert_eq!(data.len() % dim, 0, "buffer is not a multiple of dim");
+    for row in data.chunks_exact_mut(dim) {
+        let n = dot(row, row).sqrt();
+        if n > f32::EPSILON {
+            let inv = 1.0 / n;
+            for x in row.iter_mut() {
+                *x *= inv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::{normalize, random_unit_vector};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_rows(n: usize, dim: usize, seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::with_capacity(n * dim);
+        for _ in 0..n {
+            out.extend_from_slice(&random_unit_vector(&mut rng, dim));
+        }
+        out
+    }
+
+    #[test]
+    fn dot_matches_hand_computation() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot_scalar(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn dot_handles_all_remainder_lengths() {
+        // Exercise every lane/remainder split around the unroll width.
+        for len in 0..=3 * LANES {
+            let a: Vec<f32> = (0..len).map(|i| i as f32 + 0.5).collect();
+            let b: Vec<f32> = (0..len).map(|i| 1.0 - i as f32 * 0.25).collect();
+            let reference: f64 = a
+                .iter()
+                .zip(&b)
+                .map(|(x, y)| *x as f64 * *y as f64)
+                .sum::<f64>();
+            assert!(
+                (dot(&a, &b) as f64 - reference).abs() < 1e-3,
+                "len {len}: {} vs {reference}",
+                dot(&a, &b)
+            );
+        }
+    }
+
+    #[test]
+    fn dot_is_bit_stable_across_calls() {
+        let a = random_rows(1, 127, 1);
+        let b = random_rows(1, 127, 2);
+        let first = dot(&a, &b).to_bits();
+        for _ in 0..10 {
+            assert_eq!(dot(&a, &b).to_bits(), first);
+        }
+    }
+
+    #[test]
+    fn gemv_matches_per_row_dot_bitwise() {
+        let dim = 37; // deliberately not a multiple of the lane width
+        let n = 45; // deliberately not a multiple of the row block
+        let rows = random_rows(n, dim, 3);
+        let queries_data = random_rows(3, dim, 4);
+        let queries: Vec<&[f32]> = queries_data.chunks_exact(dim).collect();
+        let mut out = vec![0.0f32; 3 * n];
+        gemv_into(&rows, dim, &queries, &mut out);
+        for (qi, q) in queries.iter().enumerate() {
+            for r in 0..n {
+                let reference = dot(&rows[r * dim..(r + 1) * dim], q);
+                assert_eq!(out[qi * n + r].to_bits(), reference.to_bits());
+            }
+        }
+        // The single-query kernel agrees too.
+        let mut single = vec![0.0f32; n];
+        gemv1_into(&rows, dim, queries[1], &mut single);
+        for r in 0..n {
+            assert_eq!(single[r].to_bits(), out[n + r].to_bits());
+        }
+    }
+
+    #[test]
+    fn gemv_handles_empty_rows() {
+        let mut out: Vec<f32> = Vec::new();
+        gemv_into(&[], 8, &[&[0.0; 8]], &mut out);
+        gemv1_into(&[], 8, &[0.0; 8], &mut out);
+    }
+
+    #[test]
+    fn scale_add_matches_unfused_pair_bitwise() {
+        let mut fused = random_rows(1, 100, 5);
+        let x = random_rows(1, 100, 6);
+        let mut unfused = fused.clone();
+        scale_add(&mut fused, 0.3, -1.7, &x);
+        crate::vector::scale(&mut unfused, 0.3);
+        axpy(&mut unfused, -1.7, &x);
+        for (f, u) in fused.iter().zip(&unfused) {
+            assert_eq!(f.to_bits(), u.to_bits());
+        }
+    }
+
+    #[test]
+    fn normalize_rows_matches_per_row_normalize_bitwise() {
+        let dim = 19;
+        let mut blocked: Vec<f32> = random_rows(7, dim, 7).iter().map(|v| v * 3.0).collect();
+        // Plant a zero row; it must be left untouched.
+        blocked[2 * dim..3 * dim].fill(0.0);
+        let mut reference = blocked.clone();
+        normalize_rows(&mut blocked, dim);
+        for row in reference.chunks_exact_mut(dim) {
+            normalize(row);
+        }
+        for (b, r) in blocked.iter().zip(&reference) {
+            assert_eq!(b.to_bits(), r.to_bits());
+        }
+        assert!(blocked[2 * dim..3 * dim].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of dim")]
+    fn gemv_rejects_ragged_buffer() {
+        let mut out = vec![0.0f32; 1];
+        gemv1_into(&[1.0; 7], 4, &[0.0; 4], &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "output length mismatch")]
+    fn gemv_rejects_wrong_output_length() {
+        let mut out = vec![0.0f32; 3];
+        gemv_into(&[1.0; 8], 4, &[&[0.0; 4]], &mut out);
+    }
+}

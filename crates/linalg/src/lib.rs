@@ -8,20 +8,28 @@
 //! * a *sparse graph Laplacian* (`N × N`, [`CsrMatrix`]) produced from the
 //!   kNN graph and consumed by database alignment (§4.2 of the paper).
 //!
-//! The kernels here are deliberately simple, allocation-conscious loops:
-//! the hot paths (dot products, `Xᵀ L X`) vectorize well under `-O` and
-//! need no BLAS dependency.
+//! The scoring hot path funnels through the [`kernels`] module: a
+//! multi-accumulator unrolled [`dot`] (the single scoring primitive of
+//! the workspace, with a fixed, documented accumulation order), fused
+//! [`axpy`]/[`scale_add`], a blocked multi-query [`gemv_into`] that
+//! scores a block of rows against a batch of queries in one pass over
+//! memory, and a blocked [`normalize_rows`]. Everything is
+//! deterministic, allocation conscious, auto-vectorizer friendly, and
+//! needs no BLAS dependency; see the [`kernels`] docs for the exact
+//! contracts (accumulation order, determinism, panics).
 
 pub mod dense;
+pub mod kernels;
 #[cfg(test)]
 mod proptests;
 pub mod sparse;
 pub mod vector;
 
 pub use dense::DenseMatrix;
+pub use kernels::{axpy, dot, dot_scalar, gemv1_into, gemv_into, normalize_rows, scale_add};
 pub use sparse::{CsrMatrix, Triplet};
 pub use vector::{
-    add_scaled, cosine, dot, l2_norm, l2_norm_sq, mean_vector, normalize, normalized,
+    add_scaled, cosine, l2_norm, l2_norm_sq, mean_vector, normalize, normalized,
     orthonormal_component, random_unit_vector, rotate_toward, scale, squared_euclidean,
     standard_normal,
 };

@@ -3,7 +3,7 @@
 
 #![cfg(test)]
 
-use crate::{dense::DenseMatrix, sparse::CsrMatrix, sparse::Triplet, vector::*};
+use crate::{dense::DenseMatrix, kernels, sparse::CsrMatrix, sparse::Triplet, vector::*};
 use proptest::prelude::*;
 
 fn small_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
@@ -63,6 +63,83 @@ proptest! {
         // Parallel `toward` is a no-op; otherwise the angle is realized.
         if orthonormal_component(&toward, &from).iter().map(|v| v * v).sum::<f32>() > 1e-6 {
             prop_assert!((got - angle).abs() < 1e-2, "asked {angle} got {got}");
+        }
+    }
+
+    #[test]
+    fn kernel_dot_matches_scalar_reference(
+        ab in proptest::collection::vec((-10.0f32..10.0, -10.0f32..10.0), 0..200),
+    ) {
+        // The unrolled kernel reassociates the sum; it must stay within
+        // 1e-5 (relative) of the strict left-to-right scalar reference
+        // at any length, and be bit-stable across repeated calls.
+        let a: Vec<f32> = ab.iter().map(|&(x, _)| x).collect();
+        let b: Vec<f32> = ab.iter().map(|&(_, y)| y).collect();
+        let kernel = dot(&a, &b);
+        let reference = kernels::dot_scalar(&a, &b);
+        let tol = 1e-5 * (1.0 + a.len() as f32 * 100.0);
+        prop_assert!((kernel - reference).abs() <= tol, "{kernel} vs {reference}");
+        prop_assert_eq!(kernel.to_bits(), dot(&a, &b).to_bits());
+    }
+
+    #[test]
+    fn kernel_gemv_matches_per_row_dot_bitwise(
+        rows in proptest::collection::vec(-5.0f32..5.0, 0..180),
+        q1 in small_vec(6),
+        q2 in small_vec(6),
+    ) {
+        let dim = 6;
+        let rows = {
+            let n = rows.len() / dim;
+            rows[..n * dim].to_vec()
+        };
+        let n = rows.len() / dim;
+        let queries: Vec<&[f32]> = vec![&q1, &q2];
+        let mut out = vec![0.0f32; 2 * n];
+        kernels::gemv_into(&rows, dim, &queries, &mut out);
+        let mut again = vec![0.0f32; 2 * n];
+        kernels::gemv_into(&rows, dim, &queries, &mut again);
+        for (qi, q) in queries.iter().enumerate() {
+            for r in 0..n {
+                let reference = dot(&rows[r * dim..(r + 1) * dim], q);
+                prop_assert_eq!(out[qi * n + r].to_bits(), reference.to_bits());
+                // Bit-stable across repeated calls.
+                prop_assert_eq!(out[qi * n + r].to_bits(), again[qi * n + r].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_normalize_rows_matches_per_row_normalize(
+        rows in proptest::collection::vec(-5.0f32..5.0, 0..105),
+    ) {
+        let dim = 7;
+        let n = rows.len() / dim;
+        let mut blocked = rows[..n * dim].to_vec();
+        let mut reference = blocked.clone();
+        kernels::normalize_rows(&mut blocked, dim);
+        for row in reference.chunks_exact_mut(dim) {
+            normalize(row);
+        }
+        for (b, r) in blocked.iter().zip(&reference) {
+            prop_assert_eq!(b.to_bits(), r.to_bits());
+        }
+    }
+
+    #[test]
+    fn kernel_scale_add_is_fused_scale_plus_axpy(
+        y in small_vec(9),
+        x in small_vec(9),
+        beta in -3.0f32..3.0,
+        alpha in -3.0f32..3.0,
+    ) {
+        let mut fused = y.clone();
+        kernels::scale_add(&mut fused, beta, alpha, &x);
+        let mut unfused = y;
+        scale(&mut unfused, beta);
+        kernels::axpy(&mut unfused, alpha, &x);
+        for (f, u) in fused.iter().zip(&unfused) {
+            prop_assert_eq!(f.to_bits(), u.to_bits());
         }
     }
 

@@ -7,19 +7,10 @@
 
 use rand::Rng;
 
-/// Inner product `a · b`.
-///
-/// # Panics
-/// Panics in debug builds if the slices have different lengths.
-#[inline]
-pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    let mut acc = 0.0f32;
-    for (x, y) in a.iter().zip(b.iter()) {
-        acc += x * y;
-    }
-    acc
-}
+// The canonical inner product lives in [`crate::kernels`] (8-lane
+// unrolled, fixed accumulation order); re-exported here so historical
+// `vector::dot` paths keep resolving to the one kernel.
+pub use crate::kernels::dot;
 
 /// Squared Euclidean norm `‖a‖²`.
 #[inline]
@@ -77,13 +68,11 @@ pub fn normalized(a: &[f32]) -> Vec<f32> {
     v
 }
 
-/// `a ← a + s·b` (axpy).
+/// `a ← a + s·b` (axpy). Delegates to the [`crate::kernels::axpy`]
+/// kernel — one canonical implementation workspace-wide.
 #[inline]
 pub fn add_scaled(a: &mut [f32], s: f32, b: &[f32]) {
-    debug_assert_eq!(a.len(), b.len());
-    for (x, y) in a.iter_mut().zip(b.iter()) {
-        *x += s * y;
-    }
+    crate::kernels::axpy(a, s, b);
 }
 
 /// `a ← s·a`.

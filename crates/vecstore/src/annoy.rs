@@ -21,7 +21,7 @@ use seesaw_linalg::{add_scaled, dot, normalize, scale, squared_euclidean};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use crate::{sort_hits, Hit, KeepFn, VectorStore};
+use crate::{Hit, KeepFn, TopKSelector, VectorStore};
 
 /// Build-time configuration for [`RpForest`].
 #[derive(Clone, Debug)]
@@ -206,17 +206,16 @@ impl RpForest {
             }
         }
 
-        let mut hits: Vec<Hit> = candidates
-            .into_iter()
-            .filter(|&id| keep(id))
-            .map(|id| Hit {
-                id,
-                score: dot(query, self.vector(id)),
-            })
-            .collect();
-        sort_hits(&mut hits);
-        hits.truncate(k);
-        hits
+        // Exact re-rank of the candidate union through the kernel, with
+        // bounded heap selection (O(C log k)) instead of sorting the
+        // full candidate list (O(C log C)); same deterministic order.
+        let mut sel = TopKSelector::new(k);
+        for id in candidates {
+            if keep(id) {
+                sel.insert(id, dot(query, self.vector(id)));
+            }
+        }
+        sel.into_sorted_hits()
     }
 }
 

@@ -5,8 +5,12 @@
 //! accuracy metrics in our benchmarks using Annoy vs an exact but slow
 //! scan" (§2.2); our integration tests quantify the same comparison.
 
-use crate::{sort_hits, Hit, KeepFn, VectorStore};
-use seesaw_linalg::dot;
+use crate::{Hit, KeepFn, TopKSelector, VectorStore};
+use seesaw_linalg::{gemv1_into, gemv_into};
+
+/// Rows scored per block. The kernel re-blocks internally for cache
+/// residency; this only bounds the per-call score scratch.
+const SCAN_BLOCK: usize = 64;
 
 /// A dense, row-major collection of vectors scanned exhaustively.
 #[derive(Clone, Debug)]
@@ -56,33 +60,71 @@ impl VectorStore for ExactStore {
         if k == 0 {
             return Vec::new();
         }
-        // Bounded selection: keep a small sorted buffer of the best k.
-        // For the k ≪ N regime of interactive search this beats sorting
-        // the whole score vector.
-        let mut best: Vec<Hit> = Vec::with_capacity(k + 1);
-        let mut threshold = f32::NEG_INFINITY;
-        for (id, v) in self.iter() {
-            if !keep(id) {
-                continue;
-            }
-            let score = dot(query, v);
-            if best.len() < k || score > threshold {
-                let pos = best
-                    .binary_search_by(|h| {
-                        score
-                            .partial_cmp(&h.score)
-                            .unwrap_or(std::cmp::Ordering::Equal)
-                    })
-                    .unwrap_or_else(|e| e);
-                best.insert(pos, Hit { id, score });
-                if best.len() > k {
-                    best.pop();
+        // Blocked scan: score SCAN_BLOCK rows at a time through the
+        // branch-free kernel, then run bounded heap selection over the
+        // score block. For the k ≪ N regime of interactive search this
+        // beats both sorting the whole score vector and the historical
+        // per-candidate sorted insert.
+        let mut sel = TopKSelector::new(k);
+        let mut scores = [0.0f32; SCAN_BLOCK];
+        let mut id = 0u32;
+        for block in self.data.chunks(SCAN_BLOCK * self.dim) {
+            let rows = block.len() / self.dim;
+            gemv1_into(block, self.dim, query, &mut scores[..rows]);
+            for &score in &scores[..rows] {
+                if keep(id) {
+                    sel.insert(id, score);
                 }
-                threshold = best.last().map(|h| h.score).unwrap_or(f32::NEG_INFINITY);
+                id += 1;
             }
         }
-        sort_hits(&mut best);
-        best
+        sel.into_sorted_hits()
+    }
+
+    fn top_k_many(
+        &self,
+        queries: &[&[f32]],
+        k: usize,
+        _budget: usize,
+        keep: &KeepFn,
+    ) -> Vec<Vec<Hit>> {
+        for q in queries {
+            assert_eq!(q.len(), self.dim, "query dimension mismatch");
+        }
+        let nq = queries.len();
+        if k == 0 || nq == 0 {
+            return vec![Vec::new(); nq];
+        }
+        if nq == 1 {
+            // Contractually identical and skips the batch machinery.
+            return vec![self.top_k_filtered(queries[0], k, keep)];
+        }
+        // One pass over the data: each row block is scored against all
+        // queries while cache resident, and `keep` runs once per row
+        // for the whole batch.
+        let mut sels: Vec<TopKSelector> = (0..nq).map(|_| TopKSelector::new(k)).collect();
+        let mut scores = vec![0.0f32; nq * SCAN_BLOCK];
+        let mut kept = [false; SCAN_BLOCK];
+        let mut base = 0u32;
+        for block in self.data.chunks(SCAN_BLOCK * self.dim) {
+            let rows = block.len() / self.dim;
+            for (j, flag) in kept[..rows].iter_mut().enumerate() {
+                *flag = keep(base + j as u32);
+            }
+            gemv_into(block, self.dim, queries, &mut scores[..nq * rows]);
+            for (qi, sel) in sels.iter_mut().enumerate() {
+                let row_scores = &scores[qi * rows..(qi + 1) * rows];
+                for (j, &score) in row_scores.iter().enumerate() {
+                    if kept[j] {
+                        sel.insert(base + j as u32, score);
+                    }
+                }
+            }
+            base += rows as u32;
+        }
+        sels.into_iter()
+            .map(TopKSelector::into_sorted_hits)
+            .collect()
     }
 }
 
@@ -123,11 +165,14 @@ mod tests {
     #[test]
     fn k_larger_than_store_returns_all_kept() {
         let s = store();
+        // Scores against [0, 1]: v0 = 0, v1 = 1, v2 = 0.7, v3 = 0.
+        // Full order under desc-score/asc-id: 1, 2, then the 0-score
+        // tie broken by ascending id: 0 before 3.
         let hits = s.top_k(&[0.0, 1.0], 10);
-        assert_eq!(hits.len(), 4);
-        assert_eq!(hits[0].id, 1);
-        assert_eq!(hits.last().unwrap().id, 3); // most negative score? no:
-                                                // scores: v0=0, v1=1, v2=.7, v3=0 → last two are ties at 0 by id.
+        assert_eq!(
+            hits.iter().map(|h| h.id).collect::<Vec<_>>(),
+            vec![1, 2, 0, 3]
+        );
     }
 
     #[test]
@@ -153,5 +198,85 @@ mod tests {
     #[should_panic(expected = "multiple of dim")]
     fn bad_buffer_panics() {
         let _ = ExactStore::new(3, vec![1.0; 7]);
+    }
+
+    #[test]
+    fn blocked_scan_matches_full_sort_reference() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use seesaw_linalg::{dot, random_unit_vector};
+
+        let dim = 9;
+        let mut rng = StdRng::seed_from_u64(17);
+        // Row counts straddling the block size, including remainders.
+        for n in [
+            1usize,
+            SCAN_BLOCK - 1,
+            SCAN_BLOCK,
+            SCAN_BLOCK + 1,
+            3 * SCAN_BLOCK + 7,
+        ] {
+            let mut data = Vec::with_capacity(n * dim);
+            for _ in 0..n {
+                data.extend_from_slice(&random_unit_vector(&mut rng, dim));
+            }
+            let s = ExactStore::new(dim, data.clone());
+            let q = random_unit_vector(&mut rng, dim);
+            let keep = |id: u32| id % 5 != 3;
+            let mut reference: Vec<Hit> = (0..n as u32)
+                .filter(|&id| keep(id))
+                .map(|id| Hit {
+                    id,
+                    score: dot(&q, &data[id as usize * dim..(id as usize + 1) * dim]),
+                })
+                .collect();
+            crate::sort_hits(&mut reference);
+            reference.truncate(7);
+            let got = s.top_k_filtered(&q, 7, &keep);
+            assert_eq!(got.len(), reference.len(), "n={n}");
+            for (g, r) in got.iter().zip(&reference) {
+                assert_eq!(g.id, r.id, "n={n}");
+                assert_eq!(g.score.to_bits(), r.score.to_bits(), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_queries_match_sequential_scans_bitwise() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use seesaw_linalg::random_unit_vector;
+
+        let dim = 12;
+        let n = 150;
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut data = Vec::with_capacity(n * dim);
+        for _ in 0..n {
+            data.extend_from_slice(&random_unit_vector(&mut rng, dim));
+        }
+        let s = ExactStore::new(dim, data);
+        let queries_data: Vec<Vec<f32>> =
+            (0..5).map(|_| random_unit_vector(&mut rng, dim)).collect();
+        let queries: Vec<&[f32]> = queries_data.iter().map(|v| v.as_slice()).collect();
+        let keep = |id: u32| id % 4 != 1;
+        let batched = s.top_k_many(&queries, 8, usize::MAX, &keep);
+        assert_eq!(batched.len(), queries.len());
+        for (q, hits) in queries.iter().zip(&batched) {
+            let sequential = s.top_k_budgeted(q, 8, usize::MAX, &keep);
+            assert_eq!(hits.len(), sequential.len());
+            for (b, s) in hits.iter().zip(&sequential) {
+                assert_eq!(b.id, s.id);
+                assert_eq!(b.score.to_bits(), s.score.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn batched_zero_queries_and_zero_k_are_empty() {
+        let s = store();
+        assert!(s.top_k_many(&[], 3, usize::MAX, &|_| true).is_empty());
+        let q: &[f32] = &[1.0, 0.0];
+        let out = s.top_k_many(&[q], 0, usize::MAX, &|_| true);
+        assert_eq!(out, vec![Vec::new()]);
     }
 }

@@ -18,9 +18,9 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use seesaw_linalg::{add_scaled, dot, normalize, scale};
+use seesaw_linalg::{add_scaled, dot, gemv_into, normalize_rows, scale};
 
-use crate::{sort_hits, Hit, KeepFn, VectorStore};
+use crate::{Hit, KeepFn, TopKSelector, VectorStore};
 
 /// Build-time configuration for [`IvfStore`].
 #[derive(Clone, Debug)]
@@ -138,11 +138,14 @@ impl IvfStore {
                         // centroid no query would ever probe.
                         if seesaw_linalg::l2_norm(slot) <= f32::EPSILON {
                             slot.copy_from_slice(vec_of(worst_row));
-                        } else {
-                            normalize(slot);
                         }
                     }
                 }
+                // One blocked pass normalizes every centroid (unit
+                // centroids make max-dot assignment equal to
+                // nearest-cluster for unit rows); reseeded slots are
+                // already unit so renormalizing them is harmless.
+                normalize_rows(&mut sums, dim);
                 centroids = sums;
             }
             assign_rows(&centroids, &mut assign);
@@ -205,6 +208,26 @@ impl IvfStore {
         order.into_iter().map(|(c, _)| c).collect()
     }
 
+    /// The prefix of the probe order a query scans: lists are taken in
+    /// descending centroid-score order until `min_lists` lists *and*
+    /// `min_candidates` vectors are covered. Coverage counts every
+    /// vector in a scanned list (filtering happens during scoring, not
+    /// probing), so the prefix is a pure function of the probe order
+    /// and list sizes — which is what lets the batched scan precompute
+    /// per-query probe sets and share list passes across queries.
+    fn probe_prefix(&self, query: &[f32], min_lists: usize, min_candidates: usize) -> Vec<usize> {
+        let mut scanned = 0usize;
+        let mut prefix = Vec::new();
+        for (li, c) in self.probe_order(query).into_iter().enumerate() {
+            if li >= min_lists && scanned >= min_candidates {
+                break;
+            }
+            scanned += self.lists[c].len();
+            prefix.push(c);
+        }
+        prefix
+    }
+
     /// Scan lists in probe order until `min_lists` lists *and*
     /// `min_candidates.max(k)` candidates are covered, then rank.
     fn query_probed(
@@ -220,37 +243,16 @@ impl IvfStore {
             return Vec::new();
         }
         let need = min_candidates.max(k);
-        let mut best: Vec<Hit> = Vec::with_capacity(k + 1);
-        let mut threshold = f32::NEG_INFINITY;
-        let mut scanned = 0usize;
-        for (li, c) in self.probe_order(query).into_iter().enumerate() {
-            if li >= min_lists && scanned >= need {
-                break;
-            }
+        let mut sel = TopKSelector::new(k);
+        for c in self.probe_prefix(query, min_lists, need) {
             for &id in &self.lists[c] {
-                scanned += 1;
                 if !keep(id) {
                     continue;
                 }
-                let score = dot(query, self.vector(id));
-                if best.len() < k || score > threshold {
-                    let pos = best
-                        .binary_search_by(|h| {
-                            score
-                                .partial_cmp(&h.score)
-                                .unwrap_or(std::cmp::Ordering::Equal)
-                        })
-                        .unwrap_or_else(|e| e);
-                    best.insert(pos, Hit { id, score });
-                    if best.len() > k {
-                        best.pop();
-                    }
-                    threshold = best.last().map(|h| h.score).unwrap_or(f32::NEG_INFINITY);
-                }
+                sel.insert(id, dot(query, self.vector(id)));
             }
         }
-        sort_hits(&mut best);
-        best
+        sel.into_sorted_hits()
     }
 }
 
@@ -269,6 +271,81 @@ impl VectorStore for IvfStore {
 
     fn top_k_budgeted(&self, query: &[f32], k: usize, budget: usize, keep: &KeepFn) -> Vec<Hit> {
         self.query_probed(query, k, 1, budget, keep)
+    }
+
+    fn top_k_many(
+        &self,
+        queries: &[&[f32]],
+        k: usize,
+        budget: usize,
+        keep: &KeepFn,
+    ) -> Vec<Vec<Hit>> {
+        for q in queries {
+            assert_eq!(q.len(), self.dim, "query dimension mismatch");
+        }
+        let nq = queries.len();
+        if k == 0 || nq == 0 || self.data.is_empty() {
+            return vec![Vec::new(); nq];
+        }
+        if nq == 1 {
+            // Contractually identical and skips the gather machinery.
+            return vec![self.top_k_budgeted(queries[0], k, budget, keep)];
+        }
+        // Invert the per-query probe prefixes into a list → queries
+        // map, then walk each probed list once: its (scattered) rows
+        // are gathered into a contiguous scratch a single time and
+        // scored against every query probing that list with the
+        // blocked kernel. Gather cost and `keep` evaluation amortize
+        // across the batch; per-query results are identical to the
+        // sequential `top_k_budgeted` because candidate sets come from
+        // the same prefixes and scores from the same kernel.
+        let need = budget.max(k);
+        let mut probing: Vec<Vec<u32>> = vec![Vec::new(); self.lists.len()];
+        for (qi, q) in queries.iter().enumerate() {
+            for c in self.probe_prefix(q, 1, need) {
+                probing[c].push(qi as u32);
+            }
+        }
+        let mut sels: Vec<TopKSelector> = (0..nq).map(|_| TopKSelector::new(k)).collect();
+        let mut gathered: Vec<f32> = Vec::new();
+        let mut kept_ids: Vec<u32> = Vec::new();
+        let mut scores: Vec<f32> = Vec::new();
+        let mut qrefs: Vec<&[f32]> = Vec::new();
+        for (c, qis) in probing.iter().enumerate() {
+            if qis.is_empty() {
+                continue;
+            }
+            kept_ids.clear();
+            gathered.clear();
+            for &id in &self.lists[c] {
+                if keep(id) {
+                    kept_ids.push(id);
+                    gathered.extend_from_slice(self.vector(id));
+                }
+            }
+            if kept_ids.is_empty() {
+                continue;
+            }
+            qrefs.clear();
+            qrefs.extend(qis.iter().map(|&qi| queries[qi as usize]));
+            scores.resize(qis.len() * kept_ids.len(), 0.0);
+            gemv_into(
+                &gathered,
+                self.dim,
+                &qrefs,
+                &mut scores[..qis.len() * kept_ids.len()],
+            );
+            for (j, &qi) in qis.iter().enumerate() {
+                let sel = &mut sels[qi as usize];
+                let row = &scores[j * kept_ids.len()..(j + 1) * kept_ids.len()];
+                for (&id, &score) in kept_ids.iter().zip(row) {
+                    sel.insert(id, score);
+                }
+            }
+        }
+        sels.into_iter()
+            .map(TopKSelector::into_sorted_hits)
+            .collect()
     }
 }
 

@@ -48,6 +48,20 @@
 //! are available — i.e. `ExactStore` at medium N, or any backend under
 //! heavy concurrent load.
 
+//! ## Blocked scans and batched queries
+//!
+//! All backends score through the `seesaw_linalg::kernels` primitives
+//! (one canonical accumulation order — which is what makes the
+//! bit-identity guarantees above hold by construction), the dense
+//! scans walk the data in cache-sized row blocks, and bounded
+//! selection uses [`TopKSelector`] (a binary max-heap of the worst
+//! retained hit, O(log k) per candidate) instead of a sorted-buffer
+//! insert. Multi-query workloads should prefer
+//! [`VectorStore::top_k_many`], which scores a whole batch of queries
+//! in one pass over the data instead of re-reading the store once per
+//! query; each per-query result is identical to the equivalent
+//! [`VectorStore::top_k_budgeted`] call.
+
 pub mod annoy;
 pub mod config;
 pub mod exact;
@@ -56,6 +70,8 @@ pub mod ivf;
 mod proptests;
 pub mod recall;
 pub mod sharded;
+
+use std::collections::BinaryHeap;
 
 pub use annoy::{RpForest, RpForestConfig};
 pub use config::{AnyStore, StoreConfig};
@@ -109,13 +125,41 @@ pub trait VectorStore: Send + Sync {
         self.top_k_filtered(query, k, keep)
     }
 
+    /// Batched top-`k`: answer every query in `queries` at once, under
+    /// one candidate budget and one filter. Each entry of the result is
+    /// identical to calling [`Self::top_k_budgeted`] with the same
+    /// `k`/`budget`/`keep` — batching changes the *memory access
+    /// pattern*, never the answers. The exact, IVF, and sharded
+    /// backends override this to score a block of rows against all
+    /// queries while it is cache resident (one pass over the data
+    /// instead of `Q`); the default is the sequential per-query loop.
+    ///
+    /// `keep` must be a pure predicate: batched backends may evaluate
+    /// it once per row for the whole batch rather than once per
+    /// (row, query) pair.
+    fn top_k_many(
+        &self,
+        queries: &[&[f32]],
+        k: usize,
+        budget: usize,
+        keep: &KeepFn,
+    ) -> Vec<Vec<Hit>> {
+        queries
+            .iter()
+            .map(|q| self.top_k_budgeted(q, k, budget, keep))
+            .collect()
+    }
+
     /// Unfiltered top-`k`.
     fn top_k(&self, query: &[f32], k: usize) -> Vec<Hit> {
         self.top_k_filtered(query, k, &|_| true)
     }
 }
 
-/// Deterministically sort hits: descending score, ascending id.
+/// Deterministically sort hits: descending score, ascending id. The
+/// hot paths now select through [`TopKSelector`]; this full sort stays
+/// as the reference order for the test suites.
+#[cfg(test)]
 pub(crate) fn sort_hits(hits: &mut [Hit]) {
     hits.sort_unstable_by(|a, b| {
         b.score
@@ -123,4 +167,175 @@ pub(crate) fn sort_hits(hits: &mut [Hit]) {
             .unwrap_or(std::cmp::Ordering::Equal)
             .then(a.id.cmp(&b.id))
     });
+}
+
+/// Heap entry ordered so the *worst* retained hit (lowest score; among
+/// equal scores the highest id, since ascending ids win ties) sits at
+/// the root of a max-heap.
+#[derive(Clone, Copy, Debug)]
+struct WorstFirst(Hit);
+
+impl PartialEq for WorstFirst {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for WorstFirst {}
+impl PartialOrd for WorstFirst {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for WorstFirst {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .0
+            .score
+            .partial_cmp(&self.0.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(self.0.id.cmp(&other.0.id))
+    }
+}
+
+/// Bounded top-`k` selection under the crate's deterministic total
+/// order (descending score, ties broken by ascending id).
+///
+/// A binary max-heap keyed on the *worst* retained hit replaces the
+/// historical sorted-buffer `Vec::insert` (which paid an O(k) memmove
+/// per accepted candidate): [`TopKSelector::insert`] is one comparison
+/// against the heap root for a rejected candidate and O(log k) for an
+/// accepted one. Because the order is total over distinct ids, the
+/// retained set — and therefore the sorted output — is independent of
+/// insertion order, which is what lets batched scans feed one selector
+/// per query in any row order and still match the sequential scan
+/// bit for bit.
+#[derive(Clone, Debug)]
+pub struct TopKSelector {
+    k: usize,
+    heap: BinaryHeap<WorstFirst>,
+}
+
+impl TopKSelector {
+    /// A selector retaining the best `k` hits.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            heap: BinaryHeap::with_capacity(k.min(1 << 20)),
+        }
+    }
+
+    /// Offer one candidate.
+    #[inline]
+    pub fn insert(&mut self, id: u32, score: f32) {
+        if self.k == 0 {
+            return;
+        }
+        let cand = WorstFirst(Hit { id, score });
+        if self.heap.len() < self.k {
+            self.heap.push(cand);
+        } else if let Some(mut worst) = self.heap.peek_mut() {
+            if cand < *worst {
+                *worst = cand;
+            }
+        }
+    }
+
+    /// Number of hits currently retained.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The score a candidate must beat to be retained (`-∞` until the
+    /// selector is full). Candidates scoring exactly the threshold may
+    /// still enter on the id tie-break.
+    #[inline]
+    pub fn threshold(&self) -> f32 {
+        if self.heap.len() < self.k {
+            f32::NEG_INFINITY
+        } else {
+            self.heap.peek().map_or(f32::NEG_INFINITY, |w| w.0.score)
+        }
+    }
+
+    /// Consume the selector, returning the retained hits sorted by
+    /// descending score, ascending id.
+    pub fn into_sorted_hits(self) -> Vec<Hit> {
+        self.heap
+            .into_sorted_vec()
+            .into_iter()
+            .map(|w| w.0)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod selector_tests {
+    use super::*;
+
+    #[test]
+    fn selector_matches_full_sort_for_any_insertion_order() {
+        let scores = [0.5f32, -1.0, 0.5, 2.0, 0.25, 0.5, -0.5, 2.0];
+        let mut all: Vec<Hit> = scores
+            .iter()
+            .enumerate()
+            .map(|(id, &score)| Hit {
+                id: id as u32,
+                score,
+            })
+            .collect();
+        sort_hits(&mut all);
+        for k in 0..=scores.len() + 1 {
+            // Forward and reverse insertion must retain the same set.
+            for rev in [false, true] {
+                let mut sel = TopKSelector::new(k);
+                let order: Vec<usize> = if rev {
+                    (0..scores.len()).rev().collect()
+                } else {
+                    (0..scores.len()).collect()
+                };
+                for i in order {
+                    sel.insert(i as u32, scores[i]);
+                }
+                let got = sel.into_sorted_hits();
+                assert_eq!(got, all[..k.min(all.len())].to_vec(), "k={k} rev={rev}");
+            }
+        }
+    }
+
+    #[test]
+    fn selector_tie_break_prefers_lower_id_even_at_threshold() {
+        let mut sel = TopKSelector::new(2);
+        sel.insert(7, 1.0);
+        sel.insert(9, 1.0);
+        // Equal score, lower id: must evict id 9.
+        sel.insert(3, 1.0);
+        let hits = sel.into_sorted_hits();
+        assert_eq!(hits.iter().map(|h| h.id).collect::<Vec<_>>(), vec![3, 7]);
+    }
+
+    #[test]
+    fn selector_threshold_tracks_worst_retained() {
+        let mut sel = TopKSelector::new(2);
+        assert_eq!(sel.threshold(), f32::NEG_INFINITY);
+        sel.insert(0, 1.0);
+        assert_eq!(sel.threshold(), f32::NEG_INFINITY);
+        sel.insert(1, 3.0);
+        assert_eq!(sel.threshold(), 1.0);
+        sel.insert(2, 2.0);
+        assert_eq!(sel.threshold(), 2.0);
+        assert_eq!(sel.len(), 2);
+    }
+
+    #[test]
+    fn zero_k_selector_retains_nothing() {
+        let mut sel = TopKSelector::new(0);
+        sel.insert(0, 1.0);
+        assert!(sel.is_empty());
+        assert!(sel.into_sorted_hits().is_empty());
+    }
 }

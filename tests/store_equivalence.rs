@@ -93,6 +93,28 @@ fn sharded_exact_via_store_config_matches_too() {
 }
 
 #[test]
+fn batched_sharded_exact_is_bit_identical_to_exact() {
+    // The batched entry point preserves the PR 2 guarantee: one
+    // `top_k_many` call over a sharded-exact store answers every query
+    // bit-identically to the unsharded exact scan (and therefore to
+    // the per-query sequential loop).
+    let (n, dim) = (600usize, 16usize);
+    let data = random_data(n, dim, 51);
+    let exact = ExactStore::new(dim, data.clone());
+    let queries = random_queries(7, dim, 52);
+    let qrefs: Vec<&[f32]> = queries.iter().map(|q| q.as_slice()).collect();
+    let keep = |id: u32| id % 4 != 2;
+    for shards in [1usize, 2, 3, 7] {
+        let sharded = ShardedStore::build(dim, data.clone(), shards, ExactStore::new);
+        let batched = sharded.top_k_many(&qrefs, 11, usize::MAX, &keep);
+        for (qi, (q, got)) in qrefs.iter().zip(&batched).enumerate() {
+            let truth = exact.top_k_filtered(q, 11, &keep);
+            assert_bit_identical(&truth, got, &format!("batched shards={shards} q={qi}"));
+        }
+    }
+}
+
+#[test]
 fn recall_rp_forest_stays_above_floor() {
     let (n, dim) = (2000usize, 24usize);
     let data = random_data(n, dim, 21);
