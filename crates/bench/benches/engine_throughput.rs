@@ -23,7 +23,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use seesaw_bench::{bench_seed, env_usize};
+use seesaw_bench::{bench_seed, env_usize, percentile};
 use seesaw_core::{
     Batch, DatasetIndex, MethodConfig, PreprocessConfig, Preprocessor, SearchService, Session,
     SimulatedUser,
@@ -83,16 +83,6 @@ impl GlobalLockEngine {
     fn close(&self, id: u64) -> bool {
         self.sessions.lock().unwrap().remove(&id).is_some()
     }
-}
-
-/// Latency percentile helper (sorted copy, nearest-rank).
-fn percentile(samples: &mut [f64], p: f64) -> f64 {
-    if samples.is_empty() {
-        return f64::NAN;
-    }
-    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let idx = ((samples.len() as f64 * p).ceil() as usize).clamp(1, samples.len()) - 1;
-    samples[idx]
 }
 
 /// What one design run reports: bulk throughput plus the latency an

@@ -56,11 +56,11 @@ fn main() {
         }
         let easiest = *eligible
             .iter()
-            .max_by(|&&a, &&b| zs[a].partial_cmp(&zs[b]).unwrap())
+            .max_by(|&&a, &&b| zs[a].total_cmp(&zs[b]))
             .unwrap();
         let hardest = *eligible
             .iter()
-            .min_by(|&&a, &&b| zs[a].partial_cmp(&zs[b]).unwrap())
+            .min_by(|&&a, &&b| zs[a].total_cmp(&zs[b]))
             .unwrap();
         tasks.push((
             format!(

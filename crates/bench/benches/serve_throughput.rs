@@ -1,0 +1,216 @@
+//! **TCP serving throughput** — the end-to-end cost of a request once
+//! it crosses a real socket: framing, the bounded worker queue, the
+//! dispatch through `SearchService`, and the response write, measured
+//! from the client side of a loopback connection.
+//!
+//! For each client count `N ∈ {1, 4, 8}` the harness binds a fresh
+//! [`Server`] on an ephemeral port, connects `N` concurrent TCP
+//! clients, and drives each through a realistic interactive loop —
+//! `create`, then rounds of `next_batch(1)` + `feedback` (the SeeSaw
+//! method, so feedback pays a real alignment solve), then `stats` +
+//! `close`. Every request's wall-clock round trip is recorded;
+//! reported per config: aggregate requests/sec and client-observed
+//! p50/p99 latency.
+//!
+//! Results are written to `BENCH_serve.json` at the repo root
+//! (override with `SEESAW_BENCH_OUT`) — CI runs this harness in
+//! release mode and uploads the JSON next to `BENCH_scan.json`. The
+//! harness exits non-zero if any request is shed (`overloaded`) or
+//! fails: at these loads the queue must never saturate, so a rejection
+//! is a regression, not noise.
+//!
+//! Knobs: `SEESAW_SERVE_ROUNDS` (feedback rounds per client, default
+//! 40), `SEESAW_SERVE_WORKERS` (worker pool size, default 4).
+//!
+//! ```sh
+//! cargo bench --bench serve_throughput
+//! SEESAW_SERVE_ROUNDS=100 cargo bench --bench serve_throughput
+//! ```
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use seesaw_bench::env_usize;
+use seesaw_core::protocol::MethodSpec;
+use seesaw_core::{Batch, PreprocessConfig, Preprocessor, SearchService};
+use seesaw_dataset::{DatasetSpec, SyntheticDataset};
+use seesaw_server::{Client, Server, ServerConfig};
+
+const CLIENT_COUNTS: [usize; 3] = [1, 4, 8];
+
+/// Nearest-rank percentile of an unsorted latency sample, in ms.
+fn percentile_ms(samples: &mut [f64], p: f64) -> f64 {
+    seesaw_bench::percentile(samples, p) * 1e3
+}
+
+struct ConfigResult {
+    clients: usize,
+    requests: usize,
+    wall_seconds: f64,
+    requests_per_sec: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+/// Drive one client's interactive loop, returning per-request
+/// latencies in seconds. Panics (failing the bench) on any error or
+/// shed request — see the module docs.
+fn client_loop(
+    addr: std::net::SocketAddr,
+    dataset: &SyntheticDataset,
+    concept: u32,
+    rounds: usize,
+) -> Vec<f64> {
+    use seesaw_core::SimulatedUser;
+    let mut latencies = Vec::with_capacity(2 * rounds + 3);
+    let mut client = Client::connect(addr).expect("connect");
+    client
+        .set_timeout(Some(Duration::from_secs(120)))
+        .expect("timeout");
+    let user = SimulatedUser::new(dataset);
+
+    let mut timed = |f: &mut dyn FnMut(&mut Client)| {
+        let t0 = Instant::now();
+        // The closure runs exactly one protocol round trip.
+        f(&mut client);
+        latencies.push(t0.elapsed().as_secs_f64());
+    };
+
+    let mut session = 0u64;
+    timed(&mut |c| {
+        session = c.create(concept, MethodSpec::SeeSaw, None).expect("create");
+    });
+    'outer: for _ in 0..rounds {
+        let mut images = Vec::new();
+        let mut exhausted = false;
+        timed(
+            &mut |c| match c.next_batch(session, 1).expect("next_batch") {
+                Batch::Images(batch) => images = batch,
+                Batch::Exhausted => exhausted = true,
+            },
+        );
+        if exhausted {
+            break 'outer;
+        }
+        for img in images {
+            let fb = user.annotate(img, concept);
+            timed(&mut |c| {
+                c.feedback(session, img, fb.relevant, fb.boxes.clone())
+                    .expect("feedback")
+            });
+        }
+    }
+    timed(&mut |c| {
+        c.stats(session).expect("stats");
+    });
+    timed(&mut |c| c.close(session).expect("close"));
+    latencies
+}
+
+fn main() {
+    let rounds = env_usize("SEESAW_SERVE_ROUNDS", 40);
+    let workers = env_usize("SEESAW_SERVE_WORKERS", 4);
+    eprintln!("[serve] building dataset + index…");
+    let dataset = Arc::new(
+        DatasetSpec::coco_like(0.002)
+            .with_max_queries(16)
+            .generate(7),
+    );
+    let index = Preprocessor::new(PreprocessConfig::fast()).build(&dataset);
+    eprintln!(
+        "[serve] {} images, {} patch vectors; {} rounds/client, {} workers",
+        index.n_images(),
+        index.n_patches(),
+        rounds,
+        workers
+    );
+
+    let mut results: Vec<ConfigResult> = Vec::new();
+    for &n_clients in &CLIENT_COUNTS {
+        // A fresh server per config so session/registry state never
+        // carries over between measurements.
+        let service = Arc::new(SearchService::new(Arc::clone(&index), Arc::clone(&dataset)));
+        let config = ServerConfig::default()
+            .with_workers(workers)
+            .with_queue_depth(256);
+        let server = Server::bind(service, "127.0.0.1:0", config).expect("bind");
+        let addr = server.local_addr();
+
+        let wall_start = Instant::now();
+        let per_client: Vec<Vec<f64>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n_clients)
+                .map(|c| {
+                    let dataset = Arc::clone(&dataset);
+                    let concept = dataset.queries()[c % dataset.queries().len()].concept;
+                    scope.spawn(move || client_loop(addr, &dataset, concept, rounds))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let wall_seconds = wall_start.elapsed().as_secs_f64();
+
+        let stats = server.shutdown();
+        assert_eq!(
+            stats.requests_rejected_saturated, 0,
+            "the bench load must not saturate a 256-deep queue"
+        );
+
+        let mut latencies: Vec<f64> = per_client.into_iter().flatten().collect();
+        let requests = latencies.len();
+        assert_eq!(stats.requests_served as usize, requests);
+        let result = ConfigResult {
+            clients: n_clients,
+            requests,
+            wall_seconds,
+            requests_per_sec: requests as f64 / wall_seconds,
+            p50_ms: percentile_ms(&mut latencies, 0.50),
+            p99_ms: percentile_ms(&mut latencies, 0.99),
+        };
+        eprintln!(
+            "[serve] {} clients: {} requests in {:.2}s → {:.0} req/s, p50 {:.3} ms, p99 {:.3} ms",
+            result.clients,
+            result.requests,
+            result.wall_seconds,
+            result.requests_per_sec,
+            result.p50_ms,
+            result.p99_ms
+        );
+        results.push(result);
+    }
+
+    // Human-readable summary.
+    println!("# serve_throughput ({rounds} rounds/client, {workers} workers, SeeSaw method)");
+    println!("clients | requests |    req/s | p50 ms | p99 ms");
+    for r in &results {
+        println!(
+            "{:>7} | {:>8} | {:>8.0} | {:>6.3} | {:>6.3}",
+            r.clients, r.requests, r.requests_per_sec, r.p50_ms, r.p99_ms
+        );
+    }
+
+    // JSON for the perf trajectory, shaped like BENCH_scan.json.
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"serve_throughput\",");
+    let _ = writeln!(json, "  \"rounds_per_client\": {rounds},");
+    let _ = writeln!(json, "  \"workers\": {workers},");
+    let _ = writeln!(json, "  \"method\": \"seesaw\",");
+    let _ = writeln!(json, "  \"configs\": [");
+    for (i, r) in results.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"clients\": {}, \"requests\": {}, \"wall_seconds\": {:.3}, \
+             \"requests_per_sec\": {:.1}, \"p50_ms\": {:.4}, \"p99_ms\": {:.4}}}",
+            r.clients, r.requests, r.wall_seconds, r.requests_per_sec, r.p50_ms, r.p99_ms
+        );
+        let _ = writeln!(json, "{}", if i + 1 < results.len() { "," } else { "" });
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+
+    let out_path = std::env::var("SEESAW_BENCH_OUT")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json").into());
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    eprintln!("[serve] wrote {out_path}");
+}

@@ -75,8 +75,7 @@ mod tests {
                 ds.model
                     .spec(a.concept)
                     .deficit_angle
-                    .partial_cmp(&ds.model.spec(b.concept).deficit_angle)
-                    .unwrap()
+                    .total_cmp(&ds.model.spec(b.concept).deficit_angle)
             })
             .copied()
             .expect("a hard query exists");

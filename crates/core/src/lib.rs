@@ -44,11 +44,15 @@ pub mod tiling;
 pub mod user;
 
 pub use ideal::ideal_query_vector;
+// The dataset primitives the serving API exposes (`Feedback.boxes`,
+// batch contents), re-exported so transport crates need only this one
+// dependency.
 pub use index::{DatasetIndex, PatchMeta};
 pub use persist::{load_embeddings, save_embeddings};
 pub use preprocess::{PreprocessConfig, Preprocessor};
-pub use protocol::{ErrorCode, MethodSpec, ProtocolError, Request, Response};
+pub use protocol::{ErrorCode, MethodSpec, ProtocolError, Request, Response, MAX_LINE_BYTES};
 pub use runner::{run_benchmark_query, RunOutcome};
+pub use seesaw_dataset::{BBox, ImageId};
 pub use service::{Batch, SearchService, ServiceError, SessionId, SessionStats};
 pub use session::{Method, MethodConfig, Session};
 pub use user::{Feedback, SimulatedUser};

@@ -38,6 +38,17 @@ use std::fmt;
 
 use crate::session::MethodConfig;
 
+/// Maximum accepted length of one encoded protocol line, in bytes.
+///
+/// The longest legitimate message (a `feedback` request carrying a few
+/// dozen boxes) is under a kilobyte; 64 KiB leaves two orders of
+/// magnitude of headroom while bounding the memory a hostile or broken
+/// client can pin per connection.
+/// [`crate::service::SearchService::handle_line`] rejects longer lines
+/// with [`ErrorCode::Protocol`] before parsing, and the TCP server
+/// enforces the same cap while framing.
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
 /// A `query_align` strategy nameable over the wire — the serializable
 /// subset of [`crate::session::Method`], mapped to a full
 /// [`MethodConfig`] by [`MethodSpec::to_config`]. (Methods carrying
@@ -194,6 +205,11 @@ pub enum ErrorCode {
     InvalidRequest,
     /// The line could not be decoded at all.
     Protocol,
+    /// The server is saturated (worker queue full, connection cap
+    /// reached, or shutting down) and is shedding load instead of
+    /// queueing unboundedly. The request was *not* executed; retrying
+    /// after a backoff is safe.
+    Overloaded,
 }
 
 impl ErrorCode {
@@ -204,6 +220,7 @@ impl ErrorCode {
             Self::SessionClosed => "session_closed",
             Self::InvalidRequest => "invalid_request",
             Self::Protocol => "protocol",
+            Self::Overloaded => "overloaded",
         }
     }
 
@@ -213,6 +230,7 @@ impl ErrorCode {
             "session_closed" => Self::SessionClosed,
             "invalid_request" => Self::InvalidRequest,
             "protocol" => Self::Protocol,
+            "overloaded" => Self::Overloaded,
             _ => return None,
         })
     }

@@ -419,14 +419,42 @@ impl SearchService {
     /// failures come back as an encoded [`ErrorCode::Protocol`] error
     /// rather than an `Err`, so transports can always just write the
     /// returned line.
+    ///
+    /// Three edge cases are pinned (tested) rather than left to
+    /// whatever the JSON reader happens to report:
+    ///
+    /// * an **empty or whitespace-only** line (including a bare `\r`
+    ///   left over from `\r\n` framing) is rejected as
+    ///   `"empty request line"` — it is a framing artifact, not
+    ///   malformed JSON;
+    /// * a line **longer than
+    ///   [`MAX_LINE_BYTES`](crate::protocol::MAX_LINE_BYTES)** is
+    ///   rejected without being parsed at all, so a hostile line bounds
+    ///   the work it can cause;
+    /// * a trailing `\r` on an otherwise valid line is harmless — the
+    ///   decoder treats it as whitespace, so `\r\n`-framed clients
+    ///   (telnet, `nc -C`) work unmodified.
     pub fn handle_line(&self, line: &str) -> String {
+        let protocol_error = |message: String| {
+            Response::Error {
+                code: ErrorCode::Protocol,
+                message,
+            }
+            .encode()
+        };
+        if line.len() > crate::protocol::MAX_LINE_BYTES {
+            return protocol_error(format!(
+                "line of {} bytes exceeds the {}-byte limit",
+                line.len(),
+                crate::protocol::MAX_LINE_BYTES
+            ));
+        }
+        if line.trim().is_empty() {
+            return protocol_error("empty request line".to_string());
+        }
         match Request::decode(line) {
             Ok(request) => self.handle(request).encode(),
-            Err(e) => Response::Error {
-                code: ErrorCode::Protocol,
-                message: e.to_string(),
-            }
-            .encode(),
+            Err(e) => protocol_error(e.to_string()),
         }
     }
 }
@@ -755,5 +783,62 @@ mod tests {
             panic!("garbage must decode to a protocol error, got {reply}");
         };
         assert_eq!(code, ErrorCode::Protocol);
+    }
+
+    #[test]
+    fn handle_line_pins_empty_crlf_and_oversized_lines() {
+        use crate::protocol::MAX_LINE_BYTES;
+        let (ds, service) = service();
+
+        // Empty and whitespace-only lines (framing artifacts — a blank
+        // line, a bare \r left by \r\n framing) get one fixed,
+        // well-formed error, not whatever the JSON reader reports for
+        // truncated input. The exact wire bytes are part of the
+        // protocol.
+        let empty_reply = r#"{"type":"error","code":"protocol","message":"empty request line"}"#;
+        for line in ["", "\r", " ", "\t", "  \r"] {
+            assert_eq!(service.handle_line(line), empty_reply, "line {line:?}");
+        }
+
+        // A trailing \r on a *valid* line is whitespace, so clients
+        // framing with \r\n work unmodified (the transport strips the
+        // \n, handle_line tolerates the \r).
+        let line = Request::Stats { session: 0 }.encode() + "\r";
+        let Response::Error { code, .. } = Response::decode(&service.handle_line(&line)).unwrap()
+        else {
+            panic!("stats for an unissued id must be a typed error");
+        };
+        assert_eq!(code, ErrorCode::UnknownSession, "\\r must not break decode");
+        let id = service
+            .create_session(ds.queries()[0].concept, MethodConfig::zero_shot())
+            .unwrap();
+        let line = Request::Stats { session: id.raw() }.encode() + "\r";
+        assert!(matches!(
+            Response::decode(&service.handle_line(&line)).unwrap(),
+            Response::Stats { .. }
+        ));
+
+        // An oversized line is rejected before parsing: same error
+        // regardless of content, valid JSON included.
+        let mut huge = String::from(r#"{"type":"stats","session":1,"pad":""#);
+        huge.push_str(&"x".repeat(MAX_LINE_BYTES));
+        huge.push_str("\"}");
+        let Response::Error { code, message } =
+            Response::decode(&service.handle_line(&huge)).unwrap()
+        else {
+            panic!("oversized line must be an error");
+        };
+        assert_eq!(code, ErrorCode::Protocol);
+        assert!(
+            message.contains("exceeds") && message.contains("65536"),
+            "got {message:?}"
+        );
+        // At the boundary the line is still parsed normally.
+        let at_limit = " ".repeat(MAX_LINE_BYTES - line.len()) + &line;
+        assert_eq!(at_limit.len(), MAX_LINE_BYTES);
+        assert!(matches!(
+            Response::decode(&service.handle_line(&at_limit)).unwrap(),
+            Response::Stats { .. }
+        ));
     }
 }

@@ -588,6 +588,30 @@ impl Session {
     }
 }
 
+/// Rank `(patch, score)` candidates under the workspace's canonical
+/// total order (descending score, ascending id —
+/// [`seesaw_vecstore::hit_order`]). The historical
+/// `partial_cmp(..).unwrap_or(Equal)` comparator collapsed on NaN
+/// scores (possible from degenerate/zero-norm embeddings), which made
+/// the *unstable* sort's output depend on the input permutation — and
+/// therefore made ranking, and everything fit on the ranked sample,
+/// nondeterministic.
+fn rank_candidates(ranked: &mut [(u32, f32)]) {
+    use seesaw_vecstore::{hit_order, Hit};
+    ranked.sort_unstable_by(|&(a_id, a_score), &(b_id, b_score)| {
+        hit_order(
+            &Hit {
+                id: a_id,
+                score: a_score,
+            },
+            &Hit {
+                id: b_id,
+                score: b_score,
+            },
+        )
+    });
+}
+
 /// The propagation-based `query_align`: run label propagation over the
 /// full patch graph (the expensive part: O(iterations × edges) per
 /// round), then fit the aligner on a pseudo-labeled sample.
@@ -642,7 +666,7 @@ fn prop_align(
         .filter(|(p, &v)| !is_labeled[*p] && max_unlabeled > 0.0 && v >= threshold)
         .map(|(p, &v)| (p as u32, v))
         .collect();
-    ranked.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    rank_candidates(&mut ranked);
     ranked.truncate(fit_sample / 2);
 
     let mut rng = StdRng::seed_from_u64(0x9e0b ^ round);
@@ -842,5 +866,46 @@ mod tests {
             }
         }
         assert!((seesaw_linalg::l2_norm(s.current_query()) - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn candidate_ranking_is_deterministic_with_injected_nan() {
+        // Regression for the historical `partial_cmp(..).unwrap_or(Equal)`
+        // comparator in `prop_align`'s candidate ranking: a NaN score
+        // compared `Equal` to *everything*, so the unstable sort's
+        // output depended on the input permutation (e.g. inserting
+        // `2.0` after `[1.0, NaN]` stopped at the NaN and left `2.0`
+        // ranked below `1.0`). Under the canonical total order every
+        // permutation must produce the one canonical ranking, with the
+        // NaN pinned to a fixed slot (above +inf) instead of floating.
+        let base = [(0u32, 1.0f32), (1, f32::NAN), (2, 2.0), (3, 0.5)];
+        let canonical_ids = vec![1u32, 2, 0, 3];
+
+        // Heap's algorithm: all 24 permutations of the four candidates.
+        fn permutations(items: &mut Vec<(u32, f32)>, k: usize, out: &mut Vec<Vec<(u32, f32)>>) {
+            if k <= 1 {
+                out.push(items.clone());
+                return;
+            }
+            for i in 0..k {
+                permutations(items, k - 1, out);
+                if k.is_multiple_of(2) {
+                    items.swap(i, k - 1);
+                } else {
+                    items.swap(0, k - 1);
+                }
+            }
+        }
+        let mut all = Vec::new();
+        permutations(&mut base.to_vec(), base.len(), &mut all);
+        assert_eq!(all.len(), 24);
+
+        for mut perm in all {
+            let start = perm.clone();
+            rank_candidates(&mut perm);
+            let ids: Vec<u32> = perm.iter().map(|&(p, _)| p).collect();
+            assert_eq!(ids, canonical_ids, "permutation {start:?} mis-ranked");
+            assert!(perm[0].1.is_nan(), "NaN must stay attached to its patch");
+        }
     }
 }

@@ -1,0 +1,58 @@
+//! Stand-alone demo server: generate a synthetic dataset, preprocess
+//! it, and serve the line protocol on a fixed port until killed.
+//!
+//! ```sh
+//! cargo run --release --bin serve            # 127.0.0.1:7878
+//! SEESAW_ADDR=0.0.0.0:9000 cargo run --release --bin serve
+//! ```
+//!
+//! Then speak one JSON line per request, e.g. with netcat:
+//!
+//! ```text
+//! $ nc 127.0.0.1 7878
+//! {"type":"create","concept":0,"method":"seesaw"}
+//! {"type":"created","session":0}
+//! {"type":"next_batch","session":0,"n":2}
+//! {"type":"batch","images":[5,12]}
+//! ```
+
+use seesaw_core::{PreprocessConfig, Preprocessor, SearchService};
+use seesaw_dataset::DatasetSpec;
+use seesaw_server::{Server, ServerConfig};
+use std::sync::Arc;
+
+fn main() {
+    let addr = std::env::var("SEESAW_ADDR").unwrap_or_else(|_| "127.0.0.1:7878".to_string());
+    eprintln!("[serve] generating synthetic dataset…");
+    let dataset = Arc::new(
+        DatasetSpec::coco_like(0.002)
+            .with_max_queries(16)
+            .generate(7),
+    );
+    let index = Preprocessor::new(PreprocessConfig::fast()).build(&dataset);
+    let service = Arc::new(SearchService::new(index, Arc::clone(&dataset)));
+    eprintln!(
+        "[serve] {} images, {} patch vectors, concepts 0..{}",
+        service.index().n_images(),
+        service.index().n_patches(),
+        dataset.model.n_concepts()
+    );
+
+    let server = Server::bind(service, addr.as_str(), ServerConfig::default())
+        .unwrap_or_else(|e| panic!("binding {addr}: {e}"));
+    eprintln!(
+        "[serve] listening on {} — one JSON line per request (try `nc`), ctrl-c to stop",
+        server.local_addr()
+    );
+    // Serve until killed; the Server's own threads do all the work.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(60));
+        let s = server.stats();
+        eprintln!(
+            "[serve] served {} requests over {} connections ({} open)",
+            s.requests_served,
+            s.connections_accepted,
+            server.open_connections()
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! The network front end of the serving stack: a real TCP server over
+//! the [`seesaw_core::protocol`] line codec.
+//!
+//! PR 3 built the transport-agnostic half — a serializable
+//! [`Request`](seesaw_core::Request)/[`Response`](seesaw_core::Response)
+//! pair and [`SearchService::handle_line`](seesaw_core::SearchService),
+//! which maps one encoded line to one encoded reply. This crate is the
+//! missing socket: a [`Server`] binds a `std::net::TcpListener`, frames
+//! newline-delimited requests per connection, dispatches through
+//! `Arc<SearchService>`, and writes back one response line per request,
+//! in order. No async runtime and no external dependencies — plain
+//! blocking sockets and threads, with every blocking point bounded.
+//!
+//! # Serving model
+//!
+//! ```text
+//! accept loop ──► connection threads (≤ max_connections)
+//!                    │  frame one request line (≤ MAX_LINE_BYTES)
+//!                    ▼
+//!                bounded job queue (≤ queue_depth, reject when full)
+//!                    ▼
+//!                worker pool (workers threads)
+//!                    │  SearchService::handle_line
+//!                    ▼
+//!                connection thread writes the response line
+//! ```
+//!
+//! Three properties the tests pin down:
+//!
+//! * **Backpressure, not queues.** The job queue is *bounded*. When
+//!   every worker is busy and the backlog is full, the submission is
+//!   rejected immediately and the client gets a protocol-level
+//!   [`ErrorCode::Overloaded`](seesaw_core::ErrorCode) error — latency
+//!   of accepted requests stays flat and memory stays bounded, and the
+//!   client learns, in-band, to back off. The connection cap sheds the
+//!   same way: one `overloaded` line, then close.
+//! * **Graceful shutdown drains.** [`Server::shutdown`] stops the
+//!   accept loop, answers every request line already received (its real
+//!   result if it reaches the queue, an `overloaded` error if not),
+//!   then joins every thread. Nothing accepted is abandoned mid-flight.
+//! * **Bounded reads.** A connection may not pin more than
+//!   [`MAX_LINE_BYTES`](seesaw_core::MAX_LINE_BYTES) of partial line,
+//!   sit idle past the read timeout, or stall a response write past the
+//!   write timeout.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use seesaw_core::protocol::MethodSpec;
+//! use seesaw_core::{Batch, PreprocessConfig, Preprocessor, SearchService};
+//! use seesaw_dataset::DatasetSpec;
+//! use seesaw_server::{Client, Server, ServerConfig};
+//! use std::sync::Arc;
+//!
+//! let dataset = Arc::new(DatasetSpec::coco_like(0.0).generate(5));
+//! let index = Preprocessor::new(PreprocessConfig::fast()).build(&dataset);
+//! let service = Arc::new(SearchService::new(index, Arc::clone(&dataset)));
+//!
+//! // Port 0: the OS picks an ephemeral port.
+//! let server = Server::bind(service, "127.0.0.1:0", ServerConfig::default())?;
+//! let mut client = Client::connect(server.local_addr())?;
+//! let session = client.create(dataset.queries()[0].concept, MethodSpec::SeeSaw, None)?;
+//! let Batch::Images(images) = client.next_batch(session, 3)? else {
+//!     panic!("fresh session cannot be exhausted");
+//! };
+//! assert_eq!(images.len(), 3);
+//! client.close(session)?;
+//! let stats = server.shutdown(); // drains in-flight work, joins threads
+//! assert_eq!(stats.requests_served, 3);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! The `serve` binary in this crate serves a synthetic dataset on a
+//! fixed port for interactive poking (`nc 127.0.0.1 7878`, one JSON
+//! line per request); `cargo run --release --example search_server`
+//! runs the full multi-client round trip against an ephemeral port and
+//! exits.
+
+mod client;
+mod queue;
+mod server;
+
+pub use client::{Client, ClientError};
+pub use server::{Server, ServerConfig, ServerStats};

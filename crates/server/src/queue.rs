@@ -1,0 +1,164 @@
+//! The bounded job queue between connection threads and the worker
+//! pool.
+//!
+//! Bounded is the point: when every worker is busy and the queue is
+//! full, [`JobQueue::submit`] fails *immediately* with
+//! [`SubmitError::Saturated`] and the connection thread sheds the
+//! request as a protocol-level `overloaded` error. An unbounded queue
+//! would instead accept work without limit, and under sustained
+//! overload every queued request waits longer than the one before it —
+//! latency grows without bound and memory with it. Rejecting at the
+//! door keeps the latency of *accepted* requests flat and tells
+//! clients, in-band, to back off.
+
+use std::collections::VecDeque;
+use std::sync::mpsc::SyncSender;
+use std::sync::{Condvar, Mutex};
+
+/// One queued request: the raw line to dispatch and the channel the
+/// connection thread is blocked on for the encoded response.
+pub(crate) struct Job {
+    /// The request line (no trailing newline).
+    pub line: String,
+    /// Where the worker sends the encoded response line.
+    pub reply: SyncSender<String>,
+}
+
+/// Why a submission was refused. Either way the job was **not**
+/// enqueued and will never produce a reply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum SubmitError {
+    /// The queue is at capacity: every worker is busy and the backlog
+    /// is full.
+    Saturated,
+    /// The server is shutting down and no longer accepts work.
+    ShuttingDown,
+}
+
+struct Inner {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+/// A fixed-capacity MPMC job queue (mutex + condvar; no external
+/// dependencies, no unbounded growth).
+pub(crate) struct JobQueue {
+    capacity: usize,
+    inner: Mutex<Inner>,
+    /// Signalled when a job is pushed or the queue is closed.
+    available: Condvar,
+}
+
+impl JobQueue {
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            inner: Mutex::new(Inner {
+                jobs: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Enqueue a job, never blocking: a full queue is an immediate
+    /// [`SubmitError::Saturated`] — backpressure, not waiting.
+    pub fn submit(&self, job: Job) -> Result<(), SubmitError> {
+        let mut inner = self.inner.lock().expect("queue mutex poisoned");
+        if inner.closed {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if inner.jobs.len() >= self.capacity {
+            return Err(SubmitError::Saturated);
+        }
+        inner.jobs.push_back(job);
+        drop(inner);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue the next job, blocking while the queue is empty. Returns
+    /// `None` once the queue is closed **and** drained — workers exit
+    /// only after every accepted job has been handed out.
+    pub fn pop(&self) -> Option<Job> {
+        let mut inner = self.inner.lock().expect("queue mutex poisoned");
+        loop {
+            if let Some(job) = inner.jobs.pop_front() {
+                return Some(job);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.available.wait(inner).expect("queue mutex poisoned");
+        }
+    }
+
+    /// Stop accepting new jobs. Already-queued jobs are still handed
+    /// out by [`JobQueue::pop`] (the drain half of graceful shutdown).
+    pub fn close(&self) {
+        self.inner.lock().expect("queue mutex poisoned").closed = true;
+        self.available.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::sync_channel;
+
+    fn job(tag: &str) -> (Job, std::sync::mpsc::Receiver<String>) {
+        let (tx, rx) = sync_channel(1);
+        (
+            Job {
+                line: tag.to_string(),
+                reply: tx,
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn saturation_rejects_instead_of_growing() {
+        let q = JobQueue::new(2);
+        let (a, _ra) = job("a");
+        let (b, _rb) = job("b");
+        let (c, _rc) = job("c");
+        assert!(q.submit(a).is_ok());
+        assert!(q.submit(b).is_ok());
+        assert_eq!(q.submit(c).unwrap_err(), SubmitError::Saturated);
+        // Popping one frees one slot.
+        assert_eq!(q.pop().unwrap().line, "a");
+        let (d, _rd) = job("d");
+        assert!(q.submit(d).is_ok());
+    }
+
+    #[test]
+    fn close_drains_queued_jobs_then_ends() {
+        let q = JobQueue::new(4);
+        let (a, _ra) = job("a");
+        let (b, _rb) = job("b");
+        q.submit(a).unwrap();
+        q.submit(b).unwrap();
+        q.close();
+        let (c, _rc) = job("c");
+        assert_eq!(q.submit(c).unwrap_err(), SubmitError::ShuttingDown);
+        // The two accepted jobs still come out, in order, then None.
+        assert_eq!(q.pop().unwrap().line, "a");
+        assert_eq!(q.pop().unwrap().line, "b");
+        assert!(q.pop().is_none());
+        assert!(q.pop().is_none(), "closed stays closed");
+    }
+
+    #[test]
+    fn pop_blocks_until_submit_from_another_thread() {
+        let q = std::sync::Arc::new(JobQueue::new(1));
+        let popper = {
+            let q = std::sync::Arc::clone(&q);
+            std::thread::spawn(move || q.pop().map(|j| j.line))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let (a, _ra) = job("late");
+        q.submit(a).unwrap();
+        assert_eq!(popper.join().unwrap().as_deref(), Some("late"));
+    }
+}

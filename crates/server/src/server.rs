@@ -1,0 +1,538 @@
+//! The TCP front end: accept loop, connection framing, worker pool,
+//! and graceful shutdown.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::sync_channel;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use seesaw_core::protocol::{ErrorCode, Response, MAX_LINE_BYTES};
+use seesaw_core::SearchService;
+
+use crate::queue::{Job, JobQueue, SubmitError};
+
+/// Tuning knobs for a [`Server`]. The defaults suit tests and small
+/// deployments; every limit exists so that load sheds visibly (an
+/// `overloaded` protocol error) instead of queueing without bound.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Worker threads executing requests (default 4). Dispatch is
+    /// CPU-bound (vector-store scans, alignment solves), so more
+    /// workers than cores buys nothing.
+    pub workers: usize,
+    /// Requests that may wait for a worker before submissions are
+    /// rejected with an `overloaded` error (default 64).
+    pub queue_depth: usize,
+    /// Concurrent connections; further accepts are sent one
+    /// `overloaded` line and closed (default 256).
+    pub max_connections: usize,
+    /// How long a connection may sit idle (no complete request line)
+    /// before the server closes it (default 30 s).
+    pub read_timeout: Duration,
+    /// Timeout for writing one response line; a client that stops
+    /// draining its socket is disconnected (default 10 s).
+    pub write_timeout: Duration,
+    /// Granularity at which blocked reads/accepts re-check the
+    /// shutdown flag (default 25 ms). Bounds shutdown latency; not a
+    /// protocol knob.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            queue_depth: 64,
+            max_connections: 256,
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(10),
+            poll_interval: Duration::from_millis(25),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Set the worker-pool size.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Set the bounded queue depth (clamped to at least 1 — the queue
+    /// is also the worker handoff, so depth 0 could serve nothing).
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth.max(1);
+        self
+    }
+
+    /// Set the concurrent-connection cap.
+    pub fn with_max_connections(mut self, cap: usize) -> Self {
+        self.max_connections = cap.max(1);
+        self
+    }
+
+    /// Set the idle read timeout.
+    pub fn with_read_timeout(mut self, timeout: Duration) -> Self {
+        self.read_timeout = timeout;
+        self
+    }
+
+    /// Set the per-response write timeout.
+    pub fn with_write_timeout(mut self, timeout: Duration) -> Self {
+        self.write_timeout = timeout;
+        self
+    }
+}
+
+/// Monotonic counters, snapshotted as [`ServerStats`].
+#[derive(Default)]
+struct Counters {
+    connections_accepted: AtomicU64,
+    connections_rejected: AtomicU64,
+    requests_served: AtomicU64,
+    requests_rejected_saturated: AtomicU64,
+}
+
+/// A snapshot of a server's lifetime accounting (taken by
+/// [`Server::stats`] or returned by [`Server::shutdown`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted and handed to a handler thread.
+    pub connections_accepted: u64,
+    /// Connections turned away at the cap (sent one `overloaded` line).
+    pub connections_rejected: u64,
+    /// Responses written back to clients, protocol errors included.
+    pub requests_served: u64,
+    /// Requests shed with an `overloaded` error because the worker
+    /// queue was full (a subset of `requests_served` — the rejection
+    /// itself is a served response).
+    pub requests_rejected_saturated: u64,
+}
+
+/// Shared state between the accept loop, connection handlers, worker
+/// pool, and the owning [`Server`] handle.
+struct Shared {
+    service: Arc<SearchService>,
+    config: ServerConfig,
+    queue: JobQueue,
+    shutdown: AtomicBool,
+    open_connections: AtomicUsize,
+    counters: Counters,
+}
+
+impl Shared {
+    fn overloaded_line(&self, message: &str) -> String {
+        Response::Error {
+            code: ErrorCode::Overloaded,
+            message: message.to_string(),
+        }
+        .encode()
+    }
+}
+
+/// A running TCP server speaking the newline-delimited
+/// [`seesaw_core::protocol`] over real sockets.
+///
+/// Lifecycle: [`Server::bind`] spawns the accept loop and worker pool
+/// and returns immediately; [`Server::local_addr`] gives the bound
+/// address (bind port 0 for an ephemeral one); [`Server::shutdown`]
+/// drains in-flight requests and joins every thread. Dropping a
+/// running server shuts it down the same way.
+///
+/// See the [crate docs](crate) for the full serving model.
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+    worker_threads: Vec<JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Bind `addr` (use port 0 for an ephemeral port) and start
+    /// serving `service` in background threads.
+    ///
+    /// # Errors
+    /// Propagates the bind failure (`EADDRINUSE`, permission, …).
+    pub fn bind(
+        service: Arc<SearchService>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        // Nonblocking accept + poll keeps shutdown latency bounded
+        // without signals or a self-connect.
+        listener.set_nonblocking(true)?;
+
+        let shared = Arc::new(Shared {
+            service,
+            queue: JobQueue::new(config.queue_depth.max(1)),
+            config,
+            shutdown: AtomicBool::new(false),
+            open_connections: AtomicUsize::new(0),
+            counters: Counters::default(),
+        });
+
+        let worker_threads = (0..shared.config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("seesaw-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawning a worker thread")
+            })
+            .collect();
+
+        let conn_threads = Arc::new(Mutex::new(Vec::new()));
+        let accept_thread = {
+            let shared = Arc::clone(&shared);
+            let conn_threads = Arc::clone(&conn_threads);
+            std::thread::Builder::new()
+                .name("seesaw-accept".to_string())
+                .spawn(move || accept_loop(&listener, &shared, &conn_threads))
+                .expect("spawning the accept thread")
+        };
+
+        Ok(Self {
+            shared,
+            local_addr,
+            accept_thread: Some(accept_thread),
+            worker_threads,
+            conn_threads,
+        })
+    }
+
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Connections currently being served.
+    pub fn open_connections(&self) -> usize {
+        self.shared.open_connections.load(Ordering::Acquire)
+    }
+
+    /// Snapshot the lifetime counters.
+    pub fn stats(&self) -> ServerStats {
+        let c = &self.shared.counters;
+        ServerStats {
+            connections_accepted: c.connections_accepted.load(Ordering::Relaxed),
+            connections_rejected: c.connections_rejected.load(Ordering::Relaxed),
+            requests_served: c.requests_served.load(Ordering::Relaxed),
+            requests_rejected_saturated: c.requests_rejected_saturated.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Gracefully shut down: stop accepting, let every request already
+    /// read off a socket finish and its response be written, then join
+    /// all threads and return the final accounting.
+    ///
+    /// The drain guarantee, precisely: any request line the server has
+    /// fully received before (or while) the shutdown signal lands gets
+    /// a response before its connection closes — either its real
+    /// result or, if it had not yet been accepted into the worker
+    /// queue, an `overloaded` error. Nothing accepted is abandoned;
+    /// connections close only after their in-flight round trip.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.shutdown_in_place();
+        self.stats()
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        if let Some(accept) = self.accept_thread.take() {
+            let _ = accept.join();
+        }
+        // Connection handlers notice the flag within one poll interval
+        // (or finish the request they are waiting on first — workers
+        // are still alive here, which is what makes the drain work).
+        let handles = std::mem::take(&mut *self.conn_threads.lock().expect("poisoned"));
+        for h in handles {
+            let _ = h.join();
+        }
+        // Only now close the queue: every submitter has exited, so the
+        // workers drain whatever is left and stop.
+        self.shared.queue.close();
+        for w in self.worker_threads.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() || !self.worker_threads.is_empty() {
+            self.shutdown_in_place();
+        }
+    }
+}
+
+/// Worker: pull jobs off the bounded queue, dispatch through the
+/// service, send the encoded response back to the connection thread.
+fn worker_loop(shared: &Shared) {
+    while let Some(Job { line, reply }) = shared.queue.pop() {
+        let response = shared.service.handle_line(&line);
+        // A dead receiver means the connection died mid-request; the
+        // work is done either way, so ignore the send result.
+        let _ = reply.send(response);
+    }
+}
+
+/// Accept loop: enforce the connection cap, spawn one handler thread
+/// per accepted connection, and exit promptly on shutdown.
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, threads: &Mutex<Vec<JoinHandle<()>>>) {
+    while !shared.shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Reap finished handler threads so the handle list
+                // tracks live connections, not lifetime connections.
+                threads
+                    .lock()
+                    .expect("poisoned")
+                    .retain(|h| !h.is_finished());
+
+                let open = shared.open_connections.load(Ordering::Acquire);
+                if open >= shared.config.max_connections {
+                    shared
+                        .counters
+                        .connections_rejected
+                        .fetch_add(1, Ordering::Relaxed);
+                    reject_connection(stream, shared);
+                    continue;
+                }
+                shared.open_connections.fetch_add(1, Ordering::AcqRel);
+                let spawned = std::thread::Builder::new()
+                    .name("seesaw-conn".to_string())
+                    .spawn({
+                        let shared = Arc::clone(shared);
+                        move || {
+                            handle_connection(stream, &shared);
+                            shared.open_connections.fetch_sub(1, Ordering::AcqRel);
+                        }
+                    });
+                match spawned {
+                    Ok(handle) => {
+                        shared
+                            .counters
+                            .connections_accepted
+                            .fetch_add(1, Ordering::Relaxed);
+                        threads.lock().expect("poisoned").push(handle);
+                    }
+                    // Thread exhaustion (EAGAIN under FD/thread
+                    // pressure) is load, not a listener-fatal error:
+                    // shed this connection like a cap rejection and
+                    // keep accepting. The stream moved into the failed
+                    // closure and is dropped with it.
+                    Err(_) => {
+                        shared.open_connections.fetch_sub(1, Ordering::AcqRel);
+                        shared
+                            .counters
+                            .connections_rejected
+                            .fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(shared.config.poll_interval);
+                    }
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(shared.config.poll_interval);
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            // Transient per-connection accept failures (reset before
+            // accept, file-descriptor pressure) must not kill the
+            // listener.
+            Err(_) => std::thread::sleep(shared.config.poll_interval),
+        }
+    }
+}
+
+/// Upper bound on how long the oversized-line rejection keeps
+/// discarding a continuously streaming client's bytes before hanging
+/// up regardless (the resulting RST is then the client's own doing).
+const DRAIN_CAP: Duration = Duration::from_secs(2);
+
+/// Tell a turned-away client why, in-band, then close.
+fn reject_connection(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    let mut line = shared.overloaded_line("connection limit reached, retry later");
+    line.push('\n');
+    let _ = stream.write_all(line.as_bytes());
+}
+
+/// Serve one connection: frame newline-delimited request lines,
+/// dispatch each through the worker pool, write back one response line
+/// per request, in order.
+fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    if stream
+        .set_read_timeout(Some(shared.config.poll_interval))
+        .is_err()
+        || stream
+            .set_write_timeout(Some(shared.config.write_timeout))
+            .is_err()
+    {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let mut last_activity = Instant::now();
+
+    loop {
+        // Serve every complete line already buffered — including after
+        // the shutdown signal: these bytes were received, so they are
+        // in-flight and must be answered before the connection closes.
+        match serve_buffered_lines(&mut buf, &mut stream, shared) {
+            // The idle clock measures *client* silence, so it restarts
+            // when a response is written: time a request spent waiting
+            // for a worker is the server's latency, not client idleness
+            // (a slow round trip must not get the connection closed as
+            // idle the moment it completes).
+            Ok(served) if served > 0 => last_activity = Instant::now(),
+            Ok(_) => {}
+            Err(()) => return,
+        }
+
+        if shared.shutdown.load(Ordering::Acquire) {
+            // Final drain: requests the client pipelined may still sit
+            // in the socket receive buffer. Pull what has already
+            // arrived — bounded by a deadline so a client that keeps
+            // streaming cannot hold shutdown hostage — answer it, then
+            // close.
+            let deadline = Instant::now() + 4 * shared.config.poll_interval;
+            while Instant::now() < deadline {
+                match stream.read(&mut chunk) {
+                    Ok(0) => break,
+                    Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(_) => break, // WouldBlock/TimedOut: nothing more arrived
+                }
+            }
+            let _ = serve_buffered_lines(&mut buf, &mut stream, shared);
+            return;
+        }
+
+        // An incomplete line longer than the protocol cap can never
+        // become a valid request, and there is no newline to resync
+        // on: report and hang up.
+        if buf.len() > MAX_LINE_BYTES {
+            let error = Response::Error {
+                code: ErrorCode::Protocol,
+                message: format!("request line exceeds the {MAX_LINE_BYTES}-byte limit"),
+            }
+            .encode();
+            shared
+                .counters
+                .requests_served
+                .fetch_add(1, Ordering::Relaxed);
+            if write_line(&mut stream, &error).is_ok() {
+                // The client may still be mid-send. Closing with unread
+                // bytes in the receive buffer raises an RST that can
+                // destroy the error line before the client reads it, so
+                // signal end-of-responses (FIN) and discard the rest of
+                // the send — bounded by a deadline so a client that
+                // streams forever cannot pin the thread.
+                let _ = stream.shutdown(std::net::Shutdown::Write);
+                let deadline = Instant::now() + DRAIN_CAP;
+                while Instant::now() < deadline {
+                    match stream.read(&mut chunk) {
+                        Ok(0) => break, // client saw FIN and closed
+                        Ok(_) => {}     // discard
+                        Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                        // A full poll tick of silence: whatever was in
+                        // flight has been drained and the error line
+                        // has long since been delivered.
+                        Err(_) => break,
+                    }
+                }
+            }
+            return;
+        }
+
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // client closed
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                last_activity = Instant::now();
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                // Poll tick: re-check shutdown and the idle clock.
+                if last_activity.elapsed() >= shared.config.read_timeout {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Answer every complete line in `buf`, in order, returning how many
+/// were served. `Err(())` means a response write failed and the
+/// connection is dead.
+fn serve_buffered_lines(
+    buf: &mut Vec<u8>,
+    stream: &mut TcpStream,
+    shared: &Shared,
+) -> Result<usize, ()> {
+    let mut served = 0usize;
+    while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+        let line_bytes: Vec<u8> = buf.drain(..=pos).take(pos).collect();
+        let response = match std::str::from_utf8(&line_bytes) {
+            Ok(line) => dispatch(line, shared),
+            Err(_) => Response::Error {
+                code: ErrorCode::Protocol,
+                message: "request line is not valid UTF-8".to_string(),
+            }
+            .encode(),
+        };
+        shared
+            .counters
+            .requests_served
+            .fetch_add(1, Ordering::Relaxed);
+        if write_line(stream, &response).is_err() {
+            return Err(());
+        }
+        served += 1;
+    }
+    Ok(served)
+}
+
+/// Hand one line to the worker pool and wait for its response;
+/// saturation and shutdown come back as `overloaded` errors instead of
+/// blocking the connection.
+fn dispatch(line: &str, shared: &Shared) -> String {
+    let (reply_tx, reply_rx) = sync_channel(1);
+    let job = Job {
+        line: line.to_string(),
+        reply: reply_tx,
+    };
+    match shared.queue.submit(job) {
+        Ok(()) => match reply_rx.recv() {
+            Ok(response) => response,
+            // Unreachable in normal operation (workers outlive the
+            // queue), but a lost worker must not wedge the connection.
+            Err(_) => shared.overloaded_line("server shutting down"),
+        },
+        Err(SubmitError::Saturated) => {
+            shared
+                .counters
+                .requests_rejected_saturated
+                .fetch_add(1, Ordering::Relaxed);
+            shared.overloaded_line("server overloaded: request queue is full, retry later")
+        }
+        Err(SubmitError::ShuttingDown) => shared.overloaded_line("server shutting down"),
+    }
+}
+
+fn write_line(stream: &mut TcpStream, line: &str) -> std::io::Result<()> {
+    // One write_all per response: the lines are short and the socket
+    // has TCP_NODELAY, so there is no buffering layer to flush.
+    let mut out = String::with_capacity(line.len() + 1);
+    out.push_str(line);
+    out.push('\n');
+    stream.write_all(out.as_bytes())
+}

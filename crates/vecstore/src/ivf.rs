@@ -200,11 +200,7 @@ impl IvfStore {
                 )
             })
             .collect();
-        order.sort_unstable_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.0.cmp(&b.0))
-        });
+        order.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         order.into_iter().map(|(c, _)| c).collect()
     }
 

@@ -89,6 +89,23 @@ pub struct Hit {
     pub score: f32,
 }
 
+/// The crate's canonical ranking order over scored hits: descending
+/// score, ties broken by ascending id. This is a *total* order —
+/// scores compare through [`f32::total_cmp`], so a NaN score (possible
+/// from degenerate inputs such as zero-norm embeddings) still lands in
+/// one deterministic position (positive NaN sorts above `+inf`,
+/// negative NaN below `-inf`) instead of collapsing the comparator to
+/// `Equal` and making the sort order depend on insertion order.
+///
+/// Every ranked surface of the workspace — the selection heaps here,
+/// the sharded k-way merge, and the engine's candidate ranking — must
+/// compare through this one function so that "sorted hits" means the
+/// same thing everywhere.
+#[inline]
+pub fn hit_order(a: &Hit, b: &Hit) -> std::cmp::Ordering {
+    b.score.total_cmp(&a.score).then(a.id.cmp(&b.id))
+}
+
 /// The item filter passed to queries. `Sync` so sharded stores can
 /// apply it from worker threads.
 pub type KeepFn<'a> = dyn Fn(u32) -> bool + Sync + 'a;
@@ -156,17 +173,12 @@ pub trait VectorStore: Send + Sync {
     }
 }
 
-/// Deterministically sort hits: descending score, ascending id. The
-/// hot paths now select through [`TopKSelector`]; this full sort stays
-/// as the reference order for the test suites.
+/// Deterministically sort hits under [`hit_order`]. The hot paths now
+/// select through [`TopKSelector`]; this full sort stays as the
+/// reference order for the test suites.
 #[cfg(test)]
 pub(crate) fn sort_hits(hits: &mut [Hit]) {
-    hits.sort_unstable_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.id.cmp(&b.id))
-    });
+    hits.sort_unstable_by(hit_order);
 }
 
 /// Heap entry ordered so the *worst* retained hit (lowest score; among
@@ -188,12 +200,9 @@ impl PartialOrd for WorstFirst {
 }
 impl Ord for WorstFirst {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        other
-            .0
-            .score
-            .partial_cmp(&self.0.score)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(self.0.id.cmp(&other.0.id))
+        // Under [`hit_order`], "greater" means "ranks later" — exactly
+        // the hit a worst-at-the-root max-heap must surface.
+        hit_order(&self.0, &other.0)
     }
 }
 
@@ -329,6 +338,42 @@ mod selector_tests {
         sel.insert(2, 2.0);
         assert_eq!(sel.threshold(), 2.0);
         assert_eq!(sel.len(), 2);
+    }
+
+    #[test]
+    fn nan_scores_rank_deterministically() {
+        // hit_order is total: a (positive) NaN score sorts above +inf,
+        // so a degenerate embedding cannot scramble the ranking — it
+        // just lands in one fixed slot. Insertion order must not
+        // matter even with NaN present.
+        let scores = [1.0f32, f32::NAN, 2.0, f32::INFINITY, -1.0];
+        let mut reference: Vec<Hit> = scores
+            .iter()
+            .enumerate()
+            .map(|(id, &score)| Hit {
+                id: id as u32,
+                score,
+            })
+            .collect();
+        reference.sort_unstable_by(hit_order);
+        assert_eq!(
+            reference.iter().map(|h| h.id).collect::<Vec<_>>(),
+            vec![1, 3, 2, 0, 4],
+            "NaN first, then +inf, then finite scores descending"
+        );
+        for rev in [false, true] {
+            let mut sel = TopKSelector::new(3);
+            let order: Vec<usize> = if rev {
+                (0..scores.len()).rev().collect()
+            } else {
+                (0..scores.len()).collect()
+            };
+            for i in order {
+                sel.insert(i as u32, scores[i]);
+            }
+            let got: Vec<u32> = sel.into_sorted_hits().iter().map(|h| h.id).collect();
+            assert_eq!(got, vec![1, 3, 2], "rev={rev}");
+        }
     }
 
     #[test]

@@ -276,13 +276,10 @@ pub fn merge_hits(per_shard: &[Vec<Hit>], k: usize) -> Vec<Hit> {
         }
     }
     impl Ord for Head {
-        // Max-heap order: higher score first, then lower id.
+        // Max-heap order: the best-ranked head (under the canonical
+        // total order) at the root.
         fn cmp(&self, other: &Self) -> Ordering {
-            self.hit
-                .score
-                .partial_cmp(&other.hit.score)
-                .unwrap_or(Ordering::Equal)
-                .then(other.hit.id.cmp(&self.hit.id))
+            crate::hit_order(&other.hit, &self.hit)
         }
     }
 

@@ -1,10 +1,11 @@
-//! The "server layer" of Fig. 3 in action: one owned
-//! [`SearchService`] serving many concurrent user sessions over a
-//! shared preprocessed index — each user searching a different concept
-//! with a different method, from its own *spawned* (non-scoped) thread,
-//! which only works because the service is `Arc`-shareable and
-//! `'static`. The last user speaks the wire protocol instead of the
-//! typed API, showing the transport-ready path.
+//! The "server layer" of Fig. 3 — now over real sockets. A
+//! [`Server`] binds an ephemeral loopback port and serves the
+//! newline-delimited wire protocol through a bounded worker pool; six
+//! concurrent users connect over TCP with the typed [`Client`], then
+//! one more speaks raw protocol lines on a plain `TcpStream` (exactly
+//! what `nc` would send). The server is shut down gracefully at the
+//! end — in-flight requests drain, every thread is joined — and the
+//! process exits 0, which is what CI's server-smoke job asserts.
 //!
 //! ```sh
 //! cargo run --release --example search_server
@@ -12,6 +13,8 @@
 
 use seesaw::core::protocol::{MethodSpec, Request, Response};
 use seesaw::prelude::*;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
 use std::sync::Arc;
 
 fn main() {
@@ -23,54 +26,65 @@ fn main() {
     let index = Preprocessor::new(PreprocessConfig::fast()).build(&dataset);
     let service = Arc::new(SearchService::new(index, Arc::clone(&dataset)));
     println!(
-        "service over {} images ({} patch vectors); {} available queries\n",
+        "service over {} images ({} patch vectors); {} available queries",
         service.index().n_images(),
         service.index().n_patches(),
         dataset.queries().len()
     );
 
-    // Six concurrent "users", alternating methods.
-    let assignments: Vec<(u32, &str, MethodConfig)> = dataset
+    // A real TCP server on an ephemeral port: 4 workers, bounded
+    // queue, connection cap — the knobs that make load shed instead of
+    // queue (see the seesaw-server crate docs).
+    let server = Server::bind(service, "127.0.0.1:0", ServerConfig::default())
+        .expect("binding a loopback port");
+    let addr = server.local_addr();
+    println!("listening on {addr}\n");
+
+    // Six concurrent "users", alternating methods, each a separate TCP
+    // connection from its own thread.
+    let assignments: Vec<(u32, &str, MethodSpec)> = dataset
         .queries()
         .iter()
         .take(6)
         .enumerate()
         .map(|(i, q)| {
             if i % 2 == 0 {
-                (q.concept, "seesaw", MethodConfig::seesaw())
+                (q.concept, "seesaw", MethodSpec::SeeSaw)
             } else {
-                (q.concept, "zero-shot", MethodConfig::zero_shot())
+                (q.concept, "zero-shot", MethodSpec::ZeroShot)
             }
         })
         .collect();
 
     let handles: Vec<_> = assignments
         .into_iter()
-        .map(|(concept, method_name, cfg)| {
-            let service = Arc::clone(&service);
+        .map(|(concept, method_name, method)| {
             let dataset = Arc::clone(&dataset);
-            // Plain `std::thread::spawn`: the service is owned, so no
-            // scope (and no lifetime) is needed to share it.
             std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
                 let user = SimulatedUser::new(&dataset);
-                let id = service.create_session(concept, cfg).expect("valid concept");
+                let session = client.create(concept, method, None).expect("valid concept");
                 let mut found = 0usize;
                 let mut shown = 0usize;
                 'search: while found < 5 && shown < 40 {
-                    let batch = match service.next_batch(id, 2).expect("session is live") {
+                    let images = match client.next_batch(session, 2).expect("live session") {
                         Batch::Images(images) => images,
                         Batch::Exhausted => break 'search,
                     };
-                    for img in batch {
+                    for img in images {
                         shown += 1;
                         let fb = user.annotate(img, concept);
                         if fb.relevant {
                             found += 1;
                         }
-                        service.feedback(id, fb).expect("image was just shown");
+                        client
+                            .feedback(session, img, fb.relevant, fb.boxes)
+                            .expect("image was just shown");
                     }
                 }
-                (concept, method_name, id, found, shown)
+                let (_, _, drift) = client.stats(session).expect("live session");
+                client.close(session).expect("close");
+                (concept, method_name, found, shown, drift)
             })
         })
         .collect();
@@ -81,50 +95,64 @@ fn main() {
         "concept", "method", "found", "shown", "drift"
     );
     println!("{}", "-".repeat(46));
-    for (concept, method, id, found, shown) in results {
-        let drift = service.stats(id).map(|s| s.query_drift).unwrap_or(f32::NAN);
+    for (concept, method, found, shown, drift) in results {
         println!("{concept:<10} {method:<10} {found:>6} {shown:>6} {drift:>10.3}");
-        service.close(id).expect("session still live");
     }
 
-    // One more user, this time over the wire protocol: every message is
-    // a single JSON line, so this loop could run across any transport.
+    // One more user over raw protocol lines on a bare TcpStream — the
+    // bytes below are exactly what `nc 127.0.0.1 <port>` would carry.
     let concept = dataset.queries()[6 % dataset.queries().len()].concept;
-    println!("\nwire-protocol user (concept {concept}):");
-    let request = Request::Create {
-        concept,
-        method: MethodSpec::SeeSaw,
-        search_k: None,
-    }
-    .encode();
-    println!("  -> {request}");
-    let reply = service.handle_line(&request);
-    println!("  <- {reply}");
-    let Response::Created { session } = Response::decode(&reply).expect("valid reply") else {
-        panic!("create failed: {reply}");
+    println!("\nraw-socket wire-protocol user (concept {concept}):");
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    let mut round_trip = |request: String| -> Response {
+        writer.write_all(request.as_bytes()).expect("write");
+        writer.write_all(b"\n").expect("write");
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("read");
+        println!("  -> {request}\n  <- {}", reply.trim_end());
+        Response::decode(reply.trim_end()).expect("valid reply")
+    };
+
+    let Response::Created { session } = round_trip(
+        Request::Create {
+            concept,
+            method: MethodSpec::SeeSaw,
+            search_k: None,
+        }
+        .encode(),
+    ) else {
+        panic!("create failed");
     };
     let user = SimulatedUser::new(&dataset);
     for _ in 0..3 {
-        let request = Request::NextBatch { session, n: 1 }.encode();
-        let reply = service.handle_line(&request);
-        println!("  -> {request}\n  <- {reply}");
-        let Response::Batch { images } = Response::decode(&reply).expect("valid reply") else {
+        let Response::Batch { images } = round_trip(Request::NextBatch { session, n: 1 }.encode())
+        else {
             break;
         };
         for image in images {
             let fb = user.annotate(image, concept);
-            let request = Request::Feedback {
-                session,
-                image,
-                relevant: fb.relevant,
-                boxes: fb.boxes,
-            }
-            .encode();
-            let reply = service.handle_line(&request);
-            println!("  -> {request}\n  <- {reply}");
+            round_trip(
+                Request::Feedback {
+                    session,
+                    image,
+                    relevant: fb.relevant,
+                    boxes: fb.boxes,
+                }
+                .encode(),
+            );
         }
     }
-    let reply = service.handle_line(&Request::Close { session }.encode());
-    println!("  -> close\n  <- {reply}");
-    println!("\nlive sessions after cleanup: {}", service.live_sessions());
+    round_trip(Request::Close { session }.encode());
+
+    // Graceful shutdown: drain in-flight requests, join every thread.
+    let stats = server.shutdown();
+    println!(
+        "\nshutdown clean: {} requests served over {} connections ({} shed at saturation, {} connections rejected)",
+        stats.requests_served,
+        stats.connections_accepted,
+        stats.requests_rejected_saturated,
+        stats.connections_rejected
+    );
 }

@@ -27,6 +27,10 @@
 //!   and the serving layer: [`core::SearchService`] (owned,
 //!   per-session-locked, typed errors) plus the [`core::protocol`]
 //!   request/response line codec.
+//! * [`server`] — the TCP front end over that protocol: a
+//!   [`server::Server`] with a bounded worker pool, backpressure,
+//!   connection caps, graceful drain, and the blocking
+//!   [`server::Client`].
 //! * [`metrics`] — the paper's Average Precision protocol and summary
 //!   statistics.
 //!
@@ -101,6 +105,7 @@ pub use seesaw_knn as knn;
 pub use seesaw_linalg as linalg;
 pub use seesaw_metrics as metrics;
 pub use seesaw_optim as optim;
+pub use seesaw_server as server;
 pub use seesaw_vecstore as vecstore;
 
 /// Everything a typical caller needs, in one import.
@@ -114,5 +119,6 @@ pub mod prelude {
     pub use seesaw_dataset::{DatasetSpec, SyntheticDataset};
     pub use seesaw_embed::EmbeddingModel;
     pub use seesaw_metrics::{average_precision, BenchmarkProtocol};
+    pub use seesaw_server::{Client, ClientError, Server, ServerConfig, ServerStats};
     pub use seesaw_vecstore::{StoreConfig, VectorStore};
 }

@@ -1,0 +1,187 @@
+//! The socket-level mirror of `tests/service_stress.rs`: the same
+//! no-lost-feedback and isolation guarantees, but proven over real TCP
+//! connections to a [`Server`] on an ephemeral loopback port instead
+//! of direct `Arc<SearchService>` calls — so framing, the worker pool,
+//! and per-connection state are all in the loop.
+
+use seesaw::core::protocol::MethodSpec;
+use seesaw::prelude::*;
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+fn serve(seed: u64, config: ServerConfig) -> (Arc<SyntheticDataset>, Server) {
+    let ds = Arc::new(
+        DatasetSpec::coco_like(0.001)
+            .with_max_queries(8)
+            .generate(seed),
+    );
+    let index = Preprocessor::new(PreprocessConfig::fast()).build(&ds);
+    let service = Arc::new(SearchService::new(index, Arc::clone(&ds)));
+    let server = Server::bind(service, "127.0.0.1:0", config).expect("bind loopback");
+    (ds, server)
+}
+
+/// Eight concurrent TCP clients, one session each, released together
+/// by a barrier: create → next_batch → feedback → close, with stats
+/// checked over the wire. No reply may be malformed, no feedback may
+/// be lost, and each session's accounting must reflect only its own
+/// client's actions (isolation).
+#[test]
+fn eight_socket_clients_interleave_without_losing_feedback() {
+    const CLIENTS: usize = 8;
+    const ROUNDS: usize = 4;
+    // A queue deep enough that this workload never sheds: every
+    // request must be *served* (rejections would surface as Server
+    // errors and fail the expect calls below).
+    let (ds, server) = serve(101, ServerConfig::default().with_queue_depth(64));
+    let addr = server.local_addr();
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+
+    let per_client: Vec<(u64, usize, usize)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|t| {
+                let ds = Arc::clone(&ds);
+                let barrier = Arc::clone(&barrier);
+                scope.spawn(move || {
+                    let concept = ds.queries()[t % ds.queries().len()].concept;
+                    let user = SimulatedUser::new(&ds);
+                    let mut client = Client::connect(addr).expect("connect");
+                    client
+                        .set_timeout(Some(Duration::from_secs(60)))
+                        .expect("timeout");
+                    let session = client
+                        .create(concept, MethodSpec::SeeSaw, None)
+                        .expect("create must succeed");
+                    barrier.wait();
+                    let mut shown = 0usize;
+                    let mut sent = 0usize;
+                    for _ in 0..ROUNDS {
+                        let images = match client.next_batch(session, 2).expect("session is live") {
+                            Batch::Images(images) => images,
+                            Batch::Exhausted => break,
+                        };
+                        for img in images {
+                            shown += 1;
+                            let fb = user.annotate(img, concept);
+                            client
+                                .feedback(session, img, fb.relevant, fb.boxes)
+                                .expect("feedback for a shown image must be accepted");
+                            sent += 1;
+                        }
+                    }
+                    let (got_shown, got_fed, drift) =
+                        client.stats(session).expect("session is live");
+                    assert_eq!(got_shown as usize, shown, "client {t}: shown drifted");
+                    assert_eq!(got_fed as usize, sent, "client {t}: feedback was lost");
+                    assert!(drift.is_finite());
+                    client.close(session).expect("close");
+                    (session, shown, sent)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Session isolation: eight distinct sessions, each with a full,
+    // private run (the dataset is nowhere near exhausted at 8 images).
+    let mut sessions: Vec<u64> = per_client.iter().map(|&(s, _, _)| s).collect();
+    sessions.sort_unstable();
+    sessions.dedup();
+    assert_eq!(sessions.len(), CLIENTS, "sessions must be distinct");
+    for &(session, shown, sent) in &per_client {
+        assert_eq!(shown, 2 * ROUNDS, "session {session} came up short");
+        assert_eq!(sent, shown);
+    }
+
+    // Exact wire accounting: create + stats + close = 3, plus
+    // ROUNDS next_batch and 2*ROUNDS feedback lines per client.
+    let stats = server.shutdown();
+    assert_eq!(
+        stats.requests_served as usize,
+        CLIENTS * (3 + ROUNDS + 2 * ROUNDS),
+        "every request line must be answered exactly once"
+    );
+    assert_eq!(stats.requests_rejected_saturated, 0, "nothing may shed");
+    assert_eq!(stats.connections_accepted as usize, CLIENTS);
+    assert_eq!(stats.connections_rejected, 0);
+}
+
+/// Two sessions driven alternately by eight clients over separate
+/// connections: feedback for session A must never leak into session B,
+/// no matter how the connection threads race.
+#[test]
+fn racing_socket_clients_stay_isolated_across_sessions() {
+    const CLIENTS: usize = 8;
+    const PER_CLIENT: usize = 3;
+    let (ds, server) = serve(202, ServerConfig::default().with_queue_depth(64));
+    let addr = server.local_addr();
+    let concept_a = ds.queries()[0].concept;
+    let concept_b = ds.queries()[1].concept;
+
+    let mut admin = Client::connect(addr).expect("connect");
+    let a = admin
+        .create(concept_a, MethodSpec::SeeSaw, None)
+        .expect("create a");
+    let b = admin
+        .create(concept_b, MethodSpec::ZeroShot, None)
+        .expect("create b");
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+
+    let total_fed: usize = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|t| {
+                let ds = Arc::clone(&ds);
+                let barrier = Arc::clone(&barrier);
+                scope.spawn(move || {
+                    let (session, concept) = if t % 2 == 0 {
+                        (a, concept_a)
+                    } else {
+                        (b, concept_b)
+                    };
+                    let user = SimulatedUser::new(&ds);
+                    let mut client = Client::connect(addr).expect("connect");
+                    client
+                        .set_timeout(Some(Duration::from_secs(60)))
+                        .expect("timeout");
+                    barrier.wait();
+                    let mut fed = 0usize;
+                    for _ in 0..PER_CLIENT {
+                        match client.next_batch(session, 1).expect("live session") {
+                            Batch::Images(images) => {
+                                for img in images {
+                                    let fb = user.annotate(img, concept);
+                                    client
+                                        .feedback(session, img, fb.relevant, fb.boxes)
+                                        .expect("shown image");
+                                    fed += 1;
+                                }
+                            }
+                            Batch::Exhausted => break,
+                        }
+                    }
+                    fed
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+
+    let (shown_a, fed_a, _) = admin.stats(a).expect("stats a");
+    let (shown_b, fed_b, drift_b) = admin.stats(b).expect("stats b");
+    assert_eq!(
+        (shown_a + shown_b) as usize,
+        total_fed,
+        "every shown image was annotated exactly once"
+    );
+    assert_eq!((fed_a + fed_b) as usize, total_fed);
+    assert_eq!(shown_a as usize, (CLIENTS / 2) * PER_CLIENT);
+    assert_eq!(shown_b as usize, (CLIENTS / 2) * PER_CLIENT);
+    // Zero-shot session B must not have drifted, however A's feedback
+    // raced with B's batches on neighbouring connections.
+    assert!(
+        (drift_b - 1.0).abs() < 1e-5,
+        "B's query moved over the wire: {drift_b}"
+    );
+
+    server.shutdown();
+}
