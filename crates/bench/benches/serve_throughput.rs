@@ -1,30 +1,44 @@
 //! **TCP serving throughput** — the end-to-end cost of a request once
-//! it crosses a real socket: framing, the bounded worker queue, the
-//! dispatch through `SearchService`, and the response write, measured
-//! from the client side of a loopback connection.
+//! it crosses a real socket: framing, the event loops, the bounded
+//! worker queue, the dispatch through `SearchService`, and the
+//! response write, measured from the client side of a loopback
+//! connection.
 //!
-//! For each client count `N ∈ {1, 4, 8}` the harness binds a fresh
-//! [`Server`] on an ephemeral port, connects `N` concurrent TCP
-//! clients, and drives each through a realistic interactive loop —
-//! `create`, then rounds of `next_batch(1)` + `feedback` (the SeeSaw
-//! method, so feedback pays a real alignment solve), then `stats` +
-//! `close`. Every request's wall-clock round trip is recorded;
-//! reported per config: aggregate requests/sec and client-observed
-//! p50/p99 latency.
+//! For each client count `N ∈ {1, 4, 8, 64, 128, 256, 512}` (capped by
+//! `SEESAW_SERVE_MAX_CLIENTS`) the harness binds a fresh [`Server`] on
+//! an ephemeral port, connects `N` concurrent TCP clients, and drives
+//! each through a realistic interactive loop — `create`, then rounds
+//! of `next_batch(1)` + `feedback` (the SeeSaw method, so feedback
+//! pays a real alignment solve), then `stats` + `close`; a client that
+//! exhausts its session starts a fresh one and keeps going. Every
+//! request's wall-clock round trip is recorded; reported per config:
+//! aggregate requests/sec and client-observed p50/p99 latency.
+//!
+//! Each config's rounds are **auto-scaled until the measured wall time
+//! is at least two seconds** — sub-second walls make req/s noisy, and
+//! the regression gate below must not fail on measurement noise.
 //!
 //! Results are written to `BENCH_serve.json` at the repo root
 //! (override with `SEESAW_BENCH_OUT`) — CI runs this harness in
-//! release mode and uploads the JSON next to `BENCH_scan.json`. The
-//! harness exits non-zero if any request is shed (`overloaded`) or
-//! fails: at these loads the queue must never saturate, so a rejection
-//! is a regression, not noise.
+//! release mode and uploads the JSON. The harness exits non-zero if
+//! any request is shed (`overloaded`) or fails: at these loads the
+//! queue must never saturate, so a rejection is a regression, not
+//! noise.
 //!
-//! Knobs: `SEESAW_SERVE_ROUNDS` (feedback rounds per client, default
-//! 40), `SEESAW_SERVE_WORKERS` (worker pool size, default 4).
+//! **Regression gate:** before overwriting, the committed repo-root
+//! `BENCH_serve.json` is read back, and if this run's 8-client req/s
+//! falls more than 25% below the committed number the harness exits
+//! non-zero after writing its results. `SEESAW_SERVE_STRICT=0` turns
+//! the failure into a warning (mirroring the scan gate's opt-out).
+//!
+//! Knobs: `SEESAW_SERVE_ROUNDS` (base feedback rounds per client,
+//! default 40, auto-scaled up per config), `SEESAW_SERVE_WORKERS`
+//! (worker pool size, default 4), `SEESAW_SERVE_MAX_CLIENTS` (skip
+//! configs above this, default 512), `SEESAW_SERVE_STRICT`.
 //!
 //! ```sh
 //! cargo bench --bench serve_throughput
-//! SEESAW_SERVE_ROUNDS=100 cargo bench --bench serve_throughput
+//! SEESAW_SERVE_MAX_CLIENTS=64 cargo bench --bench serve_throughput
 //! ```
 
 use std::fmt::Write as _;
@@ -37,7 +51,17 @@ use seesaw_core::{Batch, PreprocessConfig, Preprocessor, SearchService};
 use seesaw_dataset::{DatasetSpec, SyntheticDataset};
 use seesaw_server::{Client, Server, ServerConfig};
 
-const CLIENT_COUNTS: [usize; 3] = [1, 4, 8];
+const CLIENT_COUNTS: [usize; 7] = [1, 4, 8, 64, 128, 256, 512];
+
+/// Minimum wall time per measured config; shorter runs are re-run
+/// with more rounds.
+const MIN_WALL_SECONDS: f64 = 2.0;
+
+/// When rescaling, aim past the minimum so one retry usually lands.
+const TARGET_WALL_SECONDS: f64 = 2.5;
+
+/// Allowed 8-client req/s regression against the committed baseline.
+const GATE_FRACTION: f64 = 0.75;
 
 /// Nearest-rank percentile of an unsorted latency sample, in ms.
 fn percentile_ms(samples: &mut [f64], p: f64) -> f64 {
@@ -46,6 +70,7 @@ fn percentile_ms(samples: &mut [f64], p: f64) -> f64 {
 
 struct ConfigResult {
     clients: usize,
+    rounds: usize,
     requests: usize,
     wall_seconds: f64,
     requests_per_sec: f64,
@@ -53,9 +78,12 @@ struct ConfigResult {
     p99_ms: f64,
 }
 
-/// Drive one client's interactive loop, returning per-request
-/// latencies in seconds. Panics (failing the bench) on any error or
-/// shed request — see the module docs.
+/// Drive one client's interactive loop for `rounds` feedback rounds,
+/// returning per-request latencies in seconds. A session that runs out
+/// of images is closed and replaced with a fresh one (those round
+/// trips are measured too — a user starting a new query is real
+/// traffic). Panics (failing the bench) on any error or shed request —
+/// see the module docs.
 fn client_loop(
     addr: std::net::SocketAddr,
     dataset: &SyntheticDataset,
@@ -63,7 +91,7 @@ fn client_loop(
     rounds: usize,
 ) -> Vec<f64> {
     use seesaw_core::SimulatedUser;
-    let mut latencies = Vec::with_capacity(2 * rounds + 3);
+    let mut latencies = Vec::with_capacity(2 * rounds + 8);
     let mut client = Client::connect(addr).expect("connect");
     client
         .set_timeout(Some(Duration::from_secs(120)))
@@ -81,7 +109,8 @@ fn client_loop(
     timed(&mut |c| {
         session = c.create(concept, MethodSpec::SeeSaw, None).expect("create");
     });
-    'outer: for _ in 0..rounds {
+    let mut done = 0usize;
+    while done < rounds {
         let mut images = Vec::new();
         let mut exhausted = false;
         timed(
@@ -91,7 +120,15 @@ fn client_loop(
             },
         );
         if exhausted {
-            break 'outer;
+            // Fresh session, same concept: per-session shown-sets mean
+            // the new one has the full dataset again.
+            timed(&mut |c| c.close(session).expect("close exhausted"));
+            timed(&mut |c| {
+                session = c
+                    .create(concept, MethodSpec::SeeSaw, None)
+                    .expect("re-create");
+            });
+            continue;
         }
         for img in images {
             let fb = user.annotate(img, concept);
@@ -100,6 +137,7 @@ fn client_loop(
                     .expect("feedback")
             });
         }
+        done += 1;
     }
     timed(&mut |c| {
         c.stats(session).expect("stats");
@@ -108,9 +146,86 @@ fn client_loop(
     latencies
 }
 
+/// Run one client-count config at a fixed round count.
+fn run_config(
+    index: &Arc<seesaw_core::DatasetIndex>,
+    dataset: &Arc<SyntheticDataset>,
+    workers: usize,
+    n_clients: usize,
+    rounds: usize,
+) -> ConfigResult {
+    // A fresh server per run so session/registry state never carries
+    // over between measurements.
+    let service = Arc::new(SearchService::new(Arc::clone(index), Arc::clone(dataset)));
+    let config = ServerConfig::default()
+        .with_workers(workers)
+        .with_event_loops(env_usize("SEESAW_SERVE_LOOPS", 2))
+        .with_queue_depth((2 * n_clients).max(256))
+        .with_max_connections(n_clients + 16);
+    let server = Server::bind(service, "127.0.0.1:0", config).expect("bind");
+    let addr = server.local_addr();
+
+    let wall_start = Instant::now();
+    let per_client: Vec<Vec<f64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_clients)
+            .map(|c| {
+                let dataset = Arc::clone(dataset);
+                let concept = dataset.queries()[c % dataset.queries().len()].concept;
+                scope.spawn(move || client_loop(addr, &dataset, concept, rounds))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall_seconds = wall_start.elapsed().as_secs_f64();
+
+    let stats = server.shutdown();
+    assert_eq!(
+        stats.requests_rejected_saturated, 0,
+        "the bench load must not saturate the queue"
+    );
+
+    let mut latencies: Vec<f64> = per_client.into_iter().flatten().collect();
+    let requests = latencies.len();
+    assert_eq!(stats.requests_served as usize, requests);
+    ConfigResult {
+        clients: n_clients,
+        rounds,
+        requests,
+        wall_seconds,
+        requests_per_sec: requests as f64 / wall_seconds,
+        p50_ms: percentile_ms(&mut latencies, 0.50),
+        p99_ms: percentile_ms(&mut latencies, 0.99),
+    }
+}
+
+/// Pull the committed 8-client req/s out of an existing
+/// `BENCH_serve.json` (hand-rolled scan — the workspace has no JSON
+/// reader and the writer below emits one config per line).
+fn committed_baseline_8(path: &str) -> Option<f64> {
+    let contents = std::fs::read_to_string(path).ok()?;
+    for line in contents.lines() {
+        if !line.contains("\"clients\": 8,") {
+            continue;
+        }
+        let key = "\"requests_per_sec\": ";
+        let start = line.find(key)? + key.len();
+        let rest = &line[start..];
+        let end = rest
+            .find(|c: char| c != '.' && !c.is_ascii_digit())
+            .unwrap_or(rest.len());
+        return rest[..end].parse().ok();
+    }
+    None
+}
+
 fn main() {
-    let rounds = env_usize("SEESAW_SERVE_ROUNDS", 40);
+    let base_rounds = env_usize("SEESAW_SERVE_ROUNDS", 40);
     let workers = env_usize("SEESAW_SERVE_WORKERS", 4);
+    let max_clients = env_usize("SEESAW_SERVE_MAX_CLIENTS", 512);
+    let strict = env_usize("SEESAW_SERVE_STRICT", 1) != 0;
+    let baseline_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    let baseline_8 = committed_baseline_8(baseline_path);
+
     eprintln!("[serve] building dataset + index…");
     let dataset = Arc::new(
         DatasetSpec::coco_like(0.002)
@@ -119,73 +234,53 @@ fn main() {
     );
     let index = Preprocessor::new(PreprocessConfig::fast()).build(&dataset);
     eprintln!(
-        "[serve] {} images, {} patch vectors; {} rounds/client, {} workers",
+        "[serve] {} images, {} patch vectors; base {} rounds/client, {} workers, ≤{} clients",
         index.n_images(),
         index.n_patches(),
-        rounds,
-        workers
+        base_rounds,
+        workers,
+        max_clients
     );
 
     let mut results: Vec<ConfigResult> = Vec::new();
-    for &n_clients in &CLIENT_COUNTS {
-        // A fresh server per config so session/registry state never
-        // carries over between measurements.
-        let service = Arc::new(SearchService::new(Arc::clone(&index), Arc::clone(&dataset)));
-        let config = ServerConfig::default()
-            .with_workers(workers)
-            .with_queue_depth(256);
-        let server = Server::bind(service, "127.0.0.1:0", config).expect("bind");
-        let addr = server.local_addr();
-
-        let wall_start = Instant::now();
-        let per_client: Vec<Vec<f64>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..n_clients)
-                .map(|c| {
-                    let dataset = Arc::clone(&dataset);
-                    let concept = dataset.queries()[c % dataset.queries().len()].concept;
-                    scope.spawn(move || client_loop(addr, &dataset, concept, rounds))
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        });
-        let wall_seconds = wall_start.elapsed().as_secs_f64();
-
-        let stats = server.shutdown();
-        assert_eq!(
-            stats.requests_rejected_saturated, 0,
-            "the bench load must not saturate a 256-deep queue"
-        );
-
-        let mut latencies: Vec<f64> = per_client.into_iter().flatten().collect();
-        let requests = latencies.len();
-        assert_eq!(stats.requests_served as usize, requests);
-        let result = ConfigResult {
-            clients: n_clients,
-            requests,
-            wall_seconds,
-            requests_per_sec: requests as f64 / wall_seconds,
-            p50_ms: percentile_ms(&mut latencies, 0.50),
-            p99_ms: percentile_ms(&mut latencies, 0.99),
+    for &n_clients in CLIENT_COUNTS.iter().filter(|&&n| n <= max_clients) {
+        // Spread the base request budget over the clients, then let
+        // the wall-time floor below scale it up as needed.
+        let mut rounds = ((base_rounds * 8) / n_clients.max(8)).max(4);
+        let result = loop {
+            let result = run_config(&index, &dataset, workers, n_clients, rounds);
+            eprintln!(
+                "[serve] {} clients × {} rounds: {} requests in {:.2}s → {:.0} req/s, \
+                 p50 {:.3} ms, p99 {:.3} ms",
+                result.clients,
+                result.rounds,
+                result.requests,
+                result.wall_seconds,
+                result.requests_per_sec,
+                result.p50_ms,
+                result.p99_ms
+            );
+            if result.wall_seconds >= MIN_WALL_SECONDS {
+                break result;
+            }
+            // Too short to trust: rescale rounds from the measured
+            // rate and re-run the whole config.
+            let scale = TARGET_WALL_SECONDS / result.wall_seconds.max(1e-3);
+            rounds = ((rounds as f64 * scale).ceil() as usize).max(rounds + 1);
+            eprintln!(
+                "[serve]   wall < {MIN_WALL_SECONDS:.0}s — rescaling to {rounds} rounds and re-running"
+            );
         };
-        eprintln!(
-            "[serve] {} clients: {} requests in {:.2}s → {:.0} req/s, p50 {:.3} ms, p99 {:.3} ms",
-            result.clients,
-            result.requests,
-            result.wall_seconds,
-            result.requests_per_sec,
-            result.p50_ms,
-            result.p99_ms
-        );
         results.push(result);
     }
 
     // Human-readable summary.
-    println!("# serve_throughput ({rounds} rounds/client, {workers} workers, SeeSaw method)");
-    println!("clients | requests |    req/s | p50 ms | p99 ms");
+    println!("# serve_throughput ({workers} workers, SeeSaw method, wall ≥ {MIN_WALL_SECONDS:.0}s/config)");
+    println!("clients | rounds | requests |    req/s | p50 ms | p99 ms");
     for r in &results {
         println!(
-            "{:>7} | {:>8} | {:>8.0} | {:>6.3} | {:>6.3}",
-            r.clients, r.requests, r.requests_per_sec, r.p50_ms, r.p99_ms
+            "{:>7} | {:>6} | {:>8} | {:>8.0} | {:>6.3} | {:>6.3}",
+            r.clients, r.rounds, r.requests, r.requests_per_sec, r.p50_ms, r.p99_ms
         );
     }
 
@@ -193,24 +288,54 @@ fn main() {
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"bench\": \"serve_throughput\",");
-    let _ = writeln!(json, "  \"rounds_per_client\": {rounds},");
+    let _ = writeln!(json, "  \"base_rounds_per_client\": {base_rounds},");
     let _ = writeln!(json, "  \"workers\": {workers},");
     let _ = writeln!(json, "  \"method\": \"seesaw\",");
+    let _ = writeln!(json, "  \"min_wall_seconds\": {MIN_WALL_SECONDS},");
     let _ = writeln!(json, "  \"configs\": [");
     for (i, r) in results.iter().enumerate() {
         let _ = write!(
             json,
-            "    {{\"clients\": {}, \"requests\": {}, \"wall_seconds\": {:.3}, \
-             \"requests_per_sec\": {:.1}, \"p50_ms\": {:.4}, \"p99_ms\": {:.4}}}",
-            r.clients, r.requests, r.wall_seconds, r.requests_per_sec, r.p50_ms, r.p99_ms
+            "    {{\"clients\": {}, \"rounds\": {}, \"requests\": {}, \
+             \"wall_seconds\": {:.3}, \"requests_per_sec\": {:.1}, \
+             \"p50_ms\": {:.4}, \"p99_ms\": {:.4}}}",
+            r.clients, r.rounds, r.requests, r.wall_seconds, r.requests_per_sec, r.p50_ms, r.p99_ms
         );
         let _ = writeln!(json, "{}", if i + 1 < results.len() { "," } else { "" });
     }
     let _ = writeln!(json, "  ]");
     let _ = writeln!(json, "}}");
 
-    let out_path = std::env::var("SEESAW_BENCH_OUT")
-        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json").into());
+    let out_path = std::env::var("SEESAW_BENCH_OUT").unwrap_or_else(|_| baseline_path.to_string());
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
     eprintln!("[serve] wrote {out_path}");
+
+    // The perf-regression gate, against the *committed* baseline read
+    // before this run overwrote anything.
+    let new_8 = results
+        .iter()
+        .find(|r| r.clients == 8)
+        .map(|r| r.requests_per_sec);
+    match (baseline_8, new_8) {
+        (Some(base), Some(new)) => {
+            let floor = base * GATE_FRACTION;
+            eprintln!(
+                "[serve] gate: 8-client {:.1} req/s vs committed {:.1} (floor {:.1})",
+                new, base, floor
+            );
+            if new < floor {
+                eprintln!(
+                    "[serve] REGRESSION: 8-client throughput fell more than {:.0}% below \
+                     the committed baseline",
+                    (1.0 - GATE_FRACTION) * 100.0
+                );
+                if strict {
+                    std::process::exit(1);
+                }
+                eprintln!("[serve] SEESAW_SERVE_STRICT=0 — continuing despite the regression");
+            }
+        }
+        (None, _) => eprintln!("[serve] gate: no committed baseline at {baseline_path} — skipped"),
+        (_, None) => eprintln!("[serve] gate: no 8-client config in this run — skipped"),
+    }
 }

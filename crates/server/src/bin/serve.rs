@@ -38,7 +38,12 @@ fn main() {
         dataset.model.n_concepts()
     );
 
-    let server = Server::bind(service, addr.as_str(), ServerConfig::default())
+    let config = ServerConfig::default();
+    eprintln!(
+        "[serve] {} event loops, {} workers, queue depth {}, pipeline window {}",
+        config.event_loops, config.workers, config.queue_depth, config.max_pipeline
+    );
+    let server = Server::bind(service, addr.as_str(), config)
         .unwrap_or_else(|e| panic!("binding {addr}: {e}"));
     eprintln!(
         "[serve] listening on {} — one JSON line per request (try `nc`), ctrl-c to stop",

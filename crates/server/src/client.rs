@@ -56,8 +56,15 @@ impl From<ProtocolError> for ClientError {
     }
 }
 
-/// A blocking connection to a [`crate::Server`]: one request line out,
-/// one response line back, strictly in order.
+/// A blocking connection to a [`crate::Server`].
+///
+/// The lockstep helpers ([`Client::call`] and the typed methods below)
+/// do one request line out, one response line back. The split-phase
+/// half ([`Client::send`]/[`Client::recv`], or [`Client::pipeline`]
+/// over a whole slice) exploits the server's request pipelining: many
+/// requests go out back-to-back and the responses come back in request
+/// order, so a burst costs one network round trip instead of one per
+/// request.
 pub struct Client {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
@@ -83,17 +90,27 @@ impl Client {
         self.writer.set_read_timeout(timeout)
     }
 
-    /// Send one raw line and read one raw reply line (no trailing
-    /// newline on either side).
+    /// Send one raw request line without waiting for the reply (the
+    /// send half of pipelining). Pair each call with a later
+    /// [`Client::recv_line`]; replies come back in send order.
     ///
     /// # Errors
-    /// [`ClientError::Io`] when the socket fails or the server closes
-    /// the connection before replying.
-    pub fn call_line(&mut self, line: &str) -> Result<String, ClientError> {
+    /// [`ClientError::Io`] when the write fails.
+    pub fn send_line(&mut self, line: &str) -> Result<(), ClientError> {
         let mut out = String::with_capacity(line.len() + 1);
         out.push_str(line);
         out.push('\n');
         self.writer.write_all(out.as_bytes())?;
+        Ok(())
+    }
+
+    /// Read one raw reply line (no trailing newline) — the receive
+    /// half of pipelining.
+    ///
+    /// # Errors
+    /// [`ClientError::Io`] when the socket fails or the server closes
+    /// the connection before replying.
+    pub fn recv_line(&mut self) -> Result<String, ClientError> {
         let mut reply = String::new();
         let n = self.reader.read_line(&mut reply)?;
         if n == 0 {
@@ -106,6 +123,60 @@ impl Client {
             reply.pop();
         }
         Ok(reply)
+    }
+
+    /// Send one raw line and read one raw reply line (no trailing
+    /// newline on either side).
+    ///
+    /// # Errors
+    /// [`ClientError::Io`] when the socket fails or the server closes
+    /// the connection before replying.
+    pub fn call_line(&mut self, line: &str) -> Result<String, ClientError> {
+        self.send_line(line)?;
+        self.recv_line()
+    }
+
+    /// Send one typed request without waiting for its reply. Pair with
+    /// [`Client::recv`]; replies come back in send order.
+    ///
+    /// # Errors
+    /// [`ClientError::Io`] when the write fails.
+    pub fn send(&mut self, request: &Request) -> Result<(), ClientError> {
+        self.send_line(&request.encode())
+    }
+
+    /// Read and decode the next typed response (matching the oldest
+    /// un-received [`Client::send`]).
+    ///
+    /// # Errors
+    /// [`ClientError::Io`] / [`ClientError::Protocol`] as in
+    /// [`Client::call_line`].
+    pub fn recv(&mut self) -> Result<Response, ClientError> {
+        let reply = self.recv_line()?;
+        Ok(Response::decode(&reply)?)
+    }
+
+    /// Pipeline a batch of requests: write them all back-to-back, then
+    /// collect one response per request, in request order. Server
+    /// `error` replies are returned in place as
+    /// `Response::Error { .. }`, not promoted to `Err` — a shed
+    /// request must not cost the responses behind it.
+    ///
+    /// Bursts should stay far below the server's write-backpressure
+    /// budget (256 KiB of undrained responses): nothing is read back
+    /// until every request is written, and a server waiting on this
+    /// client to drain would stall the write half.
+    ///
+    /// # Errors
+    /// Transport/decode failures as in [`Client::recv`].
+    pub fn pipeline(&mut self, requests: &[Request]) -> Result<Vec<Response>, ClientError> {
+        let mut burst = String::new();
+        for request in requests {
+            burst.push_str(&request.encode());
+            burst.push('\n');
+        }
+        self.writer.write_all(burst.as_bytes())?;
+        requests.iter().map(|_| self.recv()).collect()
     }
 
     /// Send one typed request and decode the typed response. Server

@@ -8,24 +8,44 @@
 //! missing socket: a [`Server`] binds a `std::net::TcpListener`, frames
 //! newline-delimited requests per connection, dispatches through
 //! `Arc<SearchService>`, and writes back one response line per request,
-//! in order. No async runtime and no external dependencies — plain
-//! blocking sockets and threads, with every blocking point bounded.
+//! in order. No async runtime and no external dependencies — the only
+//! platform surface is a thin readiness shim (epoll on Linux, poll(2)
+//! elsewhere) declared directly against the libc that `std` already
+//! links.
 //!
 //! # Serving model
 //!
+//! SeeSaw's interactive loop means most connections are idle most of
+//! the time — a user looks at a batch of images far longer than the
+//! server takes to rank it. So connections don't get threads; they get
+//! *state machines*, multiplexed by a small fixed set of event-loop
+//! threads over nonblocking sockets:
+//!
 //! ```text
-//! accept loop ──► connection threads (≤ max_connections)
-//!                    │  frame one request line (≤ MAX_LINE_BYTES)
-//!                    ▼
-//!                bounded job queue (≤ queue_depth, reject when full)
-//!                    ▼
-//!                worker pool (workers threads)
-//!                    │  SearchService::handle_line
-//!                    ▼
-//!                connection thread writes the response line
+//! accept thread ──► event loops (event_loops threads, round-robin)
+//!                      │  own all connection state: read buffers,
+//!                      │  newline framing, in-order response slots,
+//!                      │  pending-write flushing (≤ max_connections)
+//!                      ▼
+//!                   bounded job queue (≤ queue_depth, reject when full)
+//!                      ▼
+//!                   worker pool (workers threads)
+//!                      │  SearchService::handle_line
+//!                      ▼
+//!                   completion routed back to the owning loop,
+//!                   released strictly in request order per connection
 //! ```
 //!
-//! Three properties the tests pin down:
+//! Requests **pipeline**: a client may write a whole burst of request
+//! lines without waiting for replies. The server buffers the burst,
+//! executes it *in arrival order* — the protocol is stateful, so the
+//! feedback a client pipelined before a `next_batch` must apply before
+//! that batch is ranked — and writes responses back in the same order.
+//! A burst costs one network round trip instead of one per request,
+//! and replies produced without a worker (shed requests, framing
+//! errors) are slotted into the same order.
+//!
+//! Properties the tests pin down:
 //!
 //! * **Backpressure, not queues.** The job queue is *bounded*. When
 //!   every worker is busy and the backlog is full, the submission is
@@ -33,15 +53,22 @@
 //!   [`ErrorCode::Overloaded`](seesaw_core::ErrorCode) error — latency
 //!   of accepted requests stays flat and memory stays bounded, and the
 //!   client learns, in-band, to back off. The connection cap sheds the
-//!   same way: one `overloaded` line, then close.
+//!   same way: one `overloaded` line, then close. Per connection, the
+//!   loop stops *reading* while `max_pipeline` requests are in flight
+//!   or more than 256 KiB of responses are unsent, so neither a
+//!   firehose client nor one that never reads can balloon memory or
+//!   stall its loop.
 //! * **Graceful shutdown drains.** [`Server::shutdown`] stops the
-//!   accept loop, answers every request line already received (its real
-//!   result if it reaches the queue, an `overloaded` error if not),
-//!   then joins every thread. Nothing accepted is abandoned mid-flight.
-//! * **Bounded reads.** A connection may not pin more than
+//!   accept thread, answers every request line already received (its
+//!   real result if it reaches the queue, an `overloaded` error if
+//!   not), then joins every thread. Nothing accepted is abandoned
+//!   mid-flight.
+//! * **Bounded reads and writes.** A connection may not pin more than
 //!   [`MAX_LINE_BYTES`](seesaw_core::MAX_LINE_BYTES) of partial line,
-//!   sit idle past the read timeout, or stall a response write past the
-//!   write timeout.
+//!   sit idle past the read timeout, or stall its pending response
+//!   bytes past the write timeout — and none of those misbehaviors
+//!   blocks any other connection, because no loop ever blocks on a
+//!   socket.
 //!
 //! # Quickstart
 //!
@@ -77,6 +104,9 @@
 //! exits.
 
 mod client;
+mod conn;
+mod event_loop;
+mod poll;
 mod queue;
 mod server;
 

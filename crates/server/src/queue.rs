@@ -1,9 +1,8 @@
-//! The bounded job queue between connection threads and the worker
-//! pool.
+//! The bounded job queue between the event loops and the worker pool.
 //!
 //! Bounded is the point: when every worker is busy and the queue is
 //! full, [`JobQueue::submit`] fails *immediately* with
-//! [`SubmitError::Saturated`] and the connection thread sheds the
+//! [`SubmitError::Saturated`] and the owning event loop sheds the
 //! request as a protocol-level `overloaded` error. An unbounded queue
 //! would instead accept work without limit, and under sustained
 //! overload every queued request waits longer than the one before it —
@@ -12,16 +11,17 @@
 //! clients, in-band, to back off.
 
 use std::collections::VecDeque;
-use std::sync::mpsc::SyncSender;
 use std::sync::{Condvar, Mutex};
 
-/// One queued request: the raw line to dispatch and the channel the
-/// connection thread is blocked on for the encoded response.
+use crate::event_loop::Reply;
+
+/// One queued request: the raw line to dispatch and the completion
+/// route back to the event loop that owns the requesting connection.
 pub(crate) struct Job {
     /// The request line (no trailing newline).
     pub line: String,
-    /// Where the worker sends the encoded response line.
-    pub reply: SyncSender<String>,
+    /// Where the worker routes the encoded response line.
+    pub reply: Reply,
 }
 
 /// Why a submission was refused. Either way the job was **not**
@@ -104,44 +104,45 @@ impl JobQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::mpsc::sync_channel;
+    use crate::poll::waker_pair;
+    use std::sync::mpsc::channel;
 
-    fn job(tag: &str) -> (Job, std::sync::mpsc::Receiver<String>) {
-        let (tx, rx) = sync_channel(1);
-        (
-            Job {
-                line: tag.to_string(),
-                reply: tx,
+    fn job(tag: &str) -> Job {
+        // A throwaway completion route: the receiving ends are dropped
+        // immediately, which Reply::send tolerates (a dead loop makes
+        // delivery a no-op) — these tests only exercise the queue.
+        let (tx, _rx) = channel();
+        let (waker, _wake_rx) = waker_pair().expect("waker pair");
+        Job {
+            line: tag.to_string(),
+            reply: Reply {
+                tx,
+                waker,
+                token: 0,
+                generation: 0,
+                seq: 0,
             },
-            rx,
-        )
+        }
     }
 
     #[test]
     fn saturation_rejects_instead_of_growing() {
         let q = JobQueue::new(2);
-        let (a, _ra) = job("a");
-        let (b, _rb) = job("b");
-        let (c, _rc) = job("c");
-        assert!(q.submit(a).is_ok());
-        assert!(q.submit(b).is_ok());
-        assert_eq!(q.submit(c).unwrap_err(), SubmitError::Saturated);
+        assert!(q.submit(job("a")).is_ok());
+        assert!(q.submit(job("b")).is_ok());
+        assert_eq!(q.submit(job("c")).unwrap_err(), SubmitError::Saturated);
         // Popping one frees one slot.
         assert_eq!(q.pop().unwrap().line, "a");
-        let (d, _rd) = job("d");
-        assert!(q.submit(d).is_ok());
+        assert!(q.submit(job("d")).is_ok());
     }
 
     #[test]
     fn close_drains_queued_jobs_then_ends() {
         let q = JobQueue::new(4);
-        let (a, _ra) = job("a");
-        let (b, _rb) = job("b");
-        q.submit(a).unwrap();
-        q.submit(b).unwrap();
+        q.submit(job("a")).unwrap();
+        q.submit(job("b")).unwrap();
         q.close();
-        let (c, _rc) = job("c");
-        assert_eq!(q.submit(c).unwrap_err(), SubmitError::ShuttingDown);
+        assert_eq!(q.submit(job("c")).unwrap_err(), SubmitError::ShuttingDown);
         // The two accepted jobs still come out, in order, then None.
         assert_eq!(q.pop().unwrap().line, "a");
         assert_eq!(q.pop().unwrap().line, "b");
@@ -157,8 +158,7 @@ mod tests {
             std::thread::spawn(move || q.pop().map(|j| j.line))
         };
         std::thread::sleep(std::time::Duration::from_millis(20));
-        let (a, _ra) = job("late");
-        q.submit(a).unwrap();
+        q.submit(job("late")).unwrap();
         assert_eq!(popper.join().unwrap().as_deref(), Some("late"));
     }
 }

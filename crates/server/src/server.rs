@@ -1,18 +1,27 @@
-//! The TCP front end: accept loop, connection framing, worker pool,
-//! and graceful shutdown.
+//! The TCP front end: accept thread, readiness-polled event loops,
+//! worker pool, and graceful shutdown.
+//!
+//! Threading model (see the [crate docs](crate) for the full picture):
+//! one accept thread hands sockets round-robin to a small fixed set of
+//! event-loop threads ([`EventLoop`]), each of which multiplexes its
+//! share of the connections over nonblocking I/O; CPU-bound request
+//! dispatch stays on the bounded-queue worker pool, with completions
+//! routed back to the owning loop.
 
-use std::io::{ErrorKind, Read, Write};
+use std::io::{ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::sync_channel;
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc::channel;
+use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use seesaw_core::protocol::{ErrorCode, Response, MAX_LINE_BYTES};
+use seesaw_core::protocol::{ErrorCode, Response};
 use seesaw_core::SearchService;
 
-use crate::queue::{Job, JobQueue, SubmitError};
+use crate::event_loop::{EventLoop, LoopHandle};
+use crate::poll::{waker_pair, Poller, Waker};
+use crate::queue::{Job, JobQueue};
 
 /// Tuning knobs for a [`Server`]. The defaults suit tests and small
 /// deployments; every limit exists so that load sheds visibly (an
@@ -23,19 +32,33 @@ pub struct ServerConfig {
     /// CPU-bound (vector-store scans, alignment solves), so more
     /// workers than cores buys nothing.
     pub workers: usize,
+    /// Event-loop threads multiplexing connection I/O (default 2).
+    /// Each loop owns its share of the connections outright, so loops
+    /// never contend; I/O is cheap relative to dispatch and a few
+    /// loops drive thousands of connections.
+    pub event_loops: usize,
     /// Requests that may wait for a worker before submissions are
     /// rejected with an `overloaded` error (default 64).
     pub queue_depth: usize,
     /// Concurrent connections; further accepts are sent one
     /// `overloaded` line and closed (default 256).
     pub max_connections: usize,
+    /// Requests one connection may have accepted (response slot
+    /// claimed) but not yet flushed before the loop stops reading from
+    /// it — the per-connection pipelining window (default 64).
+    /// Execution itself is serialized per connection (arrival order);
+    /// this bounds the response backlog a bursty connection can
+    /// accumulate.
+    pub max_pipeline: usize,
     /// How long a connection may sit idle (no complete request line)
     /// before the server closes it (default 30 s).
     pub read_timeout: Duration,
-    /// Timeout for writing one response line; a client that stops
-    /// draining its socket is disconnected (default 10 s).
+    /// How long a connection's pending response bytes may make no
+    /// progress (client not draining its socket) before the server
+    /// disconnects it (default 10 s).
     pub write_timeout: Duration,
-    /// Granularity at which blocked reads/accepts re-check the
+    /// Upper bound on an event-loop tick: how long a loop may sleep in
+    /// the poller before sweeping timeouts and re-checking the
     /// shutdown flag (default 25 ms). Bounds shutdown latency; not a
     /// protocol knob.
     pub poll_interval: Duration,
@@ -45,8 +68,10 @@ impl Default for ServerConfig {
     fn default() -> Self {
         Self {
             workers: 4,
+            event_loops: 2,
             queue_depth: 64,
             max_connections: 256,
+            max_pipeline: 64,
             read_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(10),
             poll_interval: Duration::from_millis(25),
@@ -58,6 +83,12 @@ impl ServerConfig {
     /// Set the worker-pool size.
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
+        self
+    }
+
+    /// Set the number of event-loop threads.
+    pub fn with_event_loops(mut self, loops: usize) -> Self {
+        self.event_loops = loops.max(1);
         self
     }
 
@@ -74,13 +105,19 @@ impl ServerConfig {
         self
     }
 
+    /// Set the per-connection pipelining window.
+    pub fn with_max_pipeline(mut self, depth: usize) -> Self {
+        self.max_pipeline = depth.max(1);
+        self
+    }
+
     /// Set the idle read timeout.
     pub fn with_read_timeout(mut self, timeout: Duration) -> Self {
         self.read_timeout = timeout;
         self
     }
 
-    /// Set the per-response write timeout.
+    /// Set the write-progress (stalled client) timeout.
     pub fn with_write_timeout(mut self, timeout: Duration) -> Self {
         self.write_timeout = timeout;
         self
@@ -89,18 +126,18 @@ impl ServerConfig {
 
 /// Monotonic counters, snapshotted as [`ServerStats`].
 #[derive(Default)]
-struct Counters {
-    connections_accepted: AtomicU64,
-    connections_rejected: AtomicU64,
-    requests_served: AtomicU64,
-    requests_rejected_saturated: AtomicU64,
+pub(crate) struct Counters {
+    pub connections_accepted: AtomicU64,
+    pub connections_rejected: AtomicU64,
+    pub requests_served: AtomicU64,
+    pub requests_rejected_saturated: AtomicU64,
 }
 
 /// A snapshot of a server's lifetime accounting (taken by
 /// [`Server::stats`] or returned by [`Server::shutdown`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ServerStats {
-    /// Connections accepted and handed to a handler thread.
+    /// Connections accepted and adopted by an event loop.
     pub connections_accepted: u64,
     /// Connections turned away at the cap (sent one `overloaded` line).
     pub connections_rejected: u64,
@@ -112,19 +149,19 @@ pub struct ServerStats {
     pub requests_rejected_saturated: u64,
 }
 
-/// Shared state between the accept loop, connection handlers, worker
-/// pool, and the owning [`Server`] handle.
-struct Shared {
-    service: Arc<SearchService>,
-    config: ServerConfig,
-    queue: JobQueue,
-    shutdown: AtomicBool,
-    open_connections: AtomicUsize,
-    counters: Counters,
+/// Shared state between the accept thread, event loops, worker pool,
+/// and the owning [`Server`] handle.
+pub(crate) struct Shared {
+    pub service: Arc<SearchService>,
+    pub config: ServerConfig,
+    pub queue: JobQueue,
+    pub shutdown: AtomicBool,
+    pub open_connections: AtomicUsize,
+    pub counters: Counters,
 }
 
 impl Shared {
-    fn overloaded_line(&self, message: &str) -> String {
+    pub(crate) fn overloaded_line(&self, message: &str) -> String {
         Response::Error {
             code: ErrorCode::Overloaded,
             message: message.to_string(),
@@ -136,19 +173,21 @@ impl Shared {
 /// A running TCP server speaking the newline-delimited
 /// [`seesaw_core::protocol`] over real sockets.
 ///
-/// Lifecycle: [`Server::bind`] spawns the accept loop and worker pool
-/// and returns immediately; [`Server::local_addr`] gives the bound
-/// address (bind port 0 for an ephemeral one); [`Server::shutdown`]
-/// drains in-flight requests and joins every thread. Dropping a
-/// running server shuts it down the same way.
+/// Lifecycle: [`Server::bind`] spawns the accept thread, the event
+/// loops, and the worker pool, and returns immediately;
+/// [`Server::local_addr`] gives the bound address (bind port 0 for an
+/// ephemeral one); [`Server::shutdown`] drains in-flight requests and
+/// joins every thread. Dropping a running server shuts it down the
+/// same way.
 ///
 /// See the [crate docs](crate) for the full serving model.
 pub struct Server {
     shared: Arc<Shared>,
     local_addr: SocketAddr,
     accept_thread: Option<JoinHandle<()>>,
+    loop_threads: Vec<JoinHandle<()>>,
+    loop_wakers: Vec<Arc<Waker>>,
     worker_threads: Vec<JoinHandle<()>>,
-    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
 impl Server {
@@ -156,7 +195,8 @@ impl Server {
     /// serving `service` in background threads.
     ///
     /// # Errors
-    /// Propagates the bind failure (`EADDRINUSE`, permission, …).
+    /// Propagates the bind failure (`EADDRINUSE`, permission, …) and
+    /// any failure to set up the event loops' pollers (fd exhaustion).
     pub fn bind(
         service: Arc<SearchService>,
         addr: impl ToSocketAddrs,
@@ -177,6 +217,30 @@ impl Server {
             counters: Counters::default(),
         });
 
+        // Build every loop's poller and waker *before* spawning any
+        // thread, so a setup failure unwinds cleanly out of bind.
+        let mut loops = Vec::new();
+        let mut handles = Vec::new();
+        let mut loop_wakers = Vec::new();
+        for _ in 0..shared.config.event_loops.max(1) {
+            let poller = Poller::new()?;
+            let (waker, wake_rx) = waker_pair()?;
+            let (tx, rx) = channel();
+            handles.push(LoopHandle {
+                tx: tx.clone(),
+                waker: Arc::clone(&waker),
+            });
+            loop_wakers.push(Arc::clone(&waker));
+            loops.push(EventLoop::new(
+                Arc::clone(&shared),
+                poller,
+                wake_rx,
+                waker,
+                rx,
+                tx,
+            ));
+        }
+
         let worker_threads = (0..shared.config.workers.max(1))
             .map(|i| {
                 let shared = Arc::clone(&shared);
@@ -187,13 +251,22 @@ impl Server {
             })
             .collect();
 
-        let conn_threads = Arc::new(Mutex::new(Vec::new()));
+        let loop_threads = loops
+            .into_iter()
+            .enumerate()
+            .map(|(i, ev)| {
+                std::thread::Builder::new()
+                    .name(format!("seesaw-loop-{i}"))
+                    .spawn(move || ev.run())
+                    .expect("spawning an event-loop thread")
+            })
+            .collect();
+
         let accept_thread = {
             let shared = Arc::clone(&shared);
-            let conn_threads = Arc::clone(&conn_threads);
             std::thread::Builder::new()
                 .name("seesaw-accept".to_string())
-                .spawn(move || accept_loop(&listener, &shared, &conn_threads))
+                .spawn(move || accept_loop(&listener, &shared, handles))
                 .expect("spawning the accept thread")
         };
 
@@ -201,8 +274,9 @@ impl Server {
             shared,
             local_addr,
             accept_thread: Some(accept_thread),
+            loop_threads,
+            loop_wakers,
             worker_threads,
-            conn_threads,
         })
     }
 
@@ -236,7 +310,8 @@ impl Server {
     /// a response before its connection closes — either its real
     /// result or, if it had not yet been accepted into the worker
     /// queue, an `overloaded` error. Nothing accepted is abandoned;
-    /// connections close only after their in-flight round trip.
+    /// connections close only after their in-flight requests have been
+    /// answered.
     pub fn shutdown(mut self) -> ServerStats {
         self.shutdown_in_place();
         self.stats()
@@ -247,11 +322,14 @@ impl Server {
         if let Some(accept) = self.accept_thread.take() {
             let _ = accept.join();
         }
-        // Connection handlers notice the flag within one poll interval
-        // (or finish the request they are waiting on first — workers
-        // are still alive here, which is what makes the drain work).
-        let handles = std::mem::take(&mut *self.conn_threads.lock().expect("poisoned"));
-        for h in handles {
+        // Nudge every loop so none sleeps out a full poll interval
+        // before noticing the flag; they then drain (workers are still
+        // alive here, which is what makes the drain work) and exit
+        // once their last connection closes.
+        for waker in &self.loop_wakers {
+            waker.wake();
+        }
+        for h in self.loop_threads.drain(..) {
             let _ = h.join();
         }
         // Only now close the queue: every submitter has exited, so the
@@ -272,29 +350,21 @@ impl Drop for Server {
 }
 
 /// Worker: pull jobs off the bounded queue, dispatch through the
-/// service, send the encoded response back to the connection thread.
+/// service, route the encoded response back to the owning event loop.
 fn worker_loop(shared: &Shared) {
     while let Some(Job { line, reply }) = shared.queue.pop() {
         let response = shared.service.handle_line(&line);
-        // A dead receiver means the connection died mid-request; the
-        // work is done either way, so ignore the send result.
-        let _ = reply.send(response);
+        reply.send(response);
     }
 }
 
-/// Accept loop: enforce the connection cap, spawn one handler thread
-/// per accepted connection, and exit promptly on shutdown.
-fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, threads: &Mutex<Vec<JoinHandle<()>>>) {
+/// Accept thread: enforce the connection cap, hand accepted sockets to
+/// the event loops round-robin, and exit promptly on shutdown.
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, handles: Vec<LoopHandle>) {
+    let mut next = 0usize;
     while !shared.shutdown.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((stream, _peer)) => {
-                // Reap finished handler threads so the handle list
-                // tracks live connections, not lifetime connections.
-                threads
-                    .lock()
-                    .expect("poisoned")
-                    .retain(|h| !h.is_finished());
-
                 let open = shared.open_connections.load(Ordering::Acquire);
                 if open >= shared.config.max_connections {
                     shared
@@ -304,36 +374,31 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, threads: &Mutex<Vec
                     reject_connection(stream, shared);
                     continue;
                 }
+                // Reserve the cap slot before the handoff; the owning
+                // loop releases it when the connection closes.
                 shared.open_connections.fetch_add(1, Ordering::AcqRel);
-                let spawned = std::thread::Builder::new()
-                    .name("seesaw-conn".to_string())
-                    .spawn({
-                        let shared = Arc::clone(shared);
-                        move || {
-                            handle_connection(stream, &shared);
-                            shared.open_connections.fetch_sub(1, Ordering::AcqRel);
-                        }
-                    });
-                match spawned {
-                    Ok(handle) => {
+                let mut stream = Some(stream);
+                for attempt in 0..handles.len() {
+                    let handle = &handles[(next + attempt) % handles.len()];
+                    match handle.send_conn(stream.take().expect("stream present")) {
+                        Ok(()) => break,
+                        // A loop only disappears at shutdown; fall
+                        // through to the next one.
+                        Err(back) => stream = Some(back),
+                    }
+                }
+                next = next.wrapping_add(1);
+                match stream {
+                    None => {
                         shared
                             .counters
                             .connections_accepted
                             .fetch_add(1, Ordering::Relaxed);
-                        threads.lock().expect("poisoned").push(handle);
                     }
-                    // Thread exhaustion (EAGAIN under FD/thread
-                    // pressure) is load, not a listener-fatal error:
-                    // shed this connection like a cap rejection and
-                    // keep accepting. The stream moved into the failed
-                    // closure and is dropped with it.
-                    Err(_) => {
+                    // Every loop refused (shutdown race): release the
+                    // slot and drop the socket.
+                    Some(_) => {
                         shared.open_connections.fetch_sub(1, Ordering::AcqRel);
-                        shared
-                            .counters
-                            .connections_rejected
-                            .fetch_add(1, Ordering::Relaxed);
-                        std::thread::sleep(shared.config.poll_interval);
                     }
                 }
             }
@@ -349,190 +414,12 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, threads: &Mutex<Vec
     }
 }
 
-/// Upper bound on how long the oversized-line rejection keeps
-/// discarding a continuously streaming client's bytes before hanging
-/// up regardless (the resulting RST is then the client's own doing).
-const DRAIN_CAP: Duration = Duration::from_secs(2);
-
-/// Tell a turned-away client why, in-band, then close.
+/// Tell a turned-away client why, in-band, then close. Runs on the
+/// accept thread with a bounded blocking write — rejected sockets
+/// never touch an event loop.
 fn reject_connection(mut stream: TcpStream, shared: &Shared) {
     let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
     let mut line = shared.overloaded_line("connection limit reached, retry later");
     line.push('\n');
     let _ = stream.write_all(line.as_bytes());
-}
-
-/// Serve one connection: frame newline-delimited request lines,
-/// dispatch each through the worker pool, write back one response line
-/// per request, in order.
-fn handle_connection(mut stream: TcpStream, shared: &Shared) {
-    if stream
-        .set_read_timeout(Some(shared.config.poll_interval))
-        .is_err()
-        || stream
-            .set_write_timeout(Some(shared.config.write_timeout))
-            .is_err()
-    {
-        return;
-    }
-    let _ = stream.set_nodelay(true);
-
-    let mut buf: Vec<u8> = Vec::with_capacity(1024);
-    let mut chunk = [0u8; 4096];
-    let mut last_activity = Instant::now();
-
-    loop {
-        // Serve every complete line already buffered — including after
-        // the shutdown signal: these bytes were received, so they are
-        // in-flight and must be answered before the connection closes.
-        match serve_buffered_lines(&mut buf, &mut stream, shared) {
-            // The idle clock measures *client* silence, so it restarts
-            // when a response is written: time a request spent waiting
-            // for a worker is the server's latency, not client idleness
-            // (a slow round trip must not get the connection closed as
-            // idle the moment it completes).
-            Ok(served) if served > 0 => last_activity = Instant::now(),
-            Ok(_) => {}
-            Err(()) => return,
-        }
-
-        if shared.shutdown.load(Ordering::Acquire) {
-            // Final drain: requests the client pipelined may still sit
-            // in the socket receive buffer. Pull what has already
-            // arrived — bounded by a deadline so a client that keeps
-            // streaming cannot hold shutdown hostage — answer it, then
-            // close.
-            let deadline = Instant::now() + 4 * shared.config.poll_interval;
-            while Instant::now() < deadline {
-                match stream.read(&mut chunk) {
-                    Ok(0) => break,
-                    Ok(n) => buf.extend_from_slice(&chunk[..n]),
-                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
-                    Err(_) => break, // WouldBlock/TimedOut: nothing more arrived
-                }
-            }
-            let _ = serve_buffered_lines(&mut buf, &mut stream, shared);
-            return;
-        }
-
-        // An incomplete line longer than the protocol cap can never
-        // become a valid request, and there is no newline to resync
-        // on: report and hang up.
-        if buf.len() > MAX_LINE_BYTES {
-            let error = Response::Error {
-                code: ErrorCode::Protocol,
-                message: format!("request line exceeds the {MAX_LINE_BYTES}-byte limit"),
-            }
-            .encode();
-            shared
-                .counters
-                .requests_served
-                .fetch_add(1, Ordering::Relaxed);
-            if write_line(&mut stream, &error).is_ok() {
-                // The client may still be mid-send. Closing with unread
-                // bytes in the receive buffer raises an RST that can
-                // destroy the error line before the client reads it, so
-                // signal end-of-responses (FIN) and discard the rest of
-                // the send — bounded by a deadline so a client that
-                // streams forever cannot pin the thread.
-                let _ = stream.shutdown(std::net::Shutdown::Write);
-                let deadline = Instant::now() + DRAIN_CAP;
-                while Instant::now() < deadline {
-                    match stream.read(&mut chunk) {
-                        Ok(0) => break, // client saw FIN and closed
-                        Ok(_) => {}     // discard
-                        Err(e) if e.kind() == ErrorKind::Interrupted => {}
-                        // A full poll tick of silence: whatever was in
-                        // flight has been drained and the error line
-                        // has long since been delivered.
-                        Err(_) => break,
-                    }
-                }
-            }
-            return;
-        }
-
-        match stream.read(&mut chunk) {
-            Ok(0) => return, // client closed
-            Ok(n) => {
-                buf.extend_from_slice(&chunk[..n]);
-                last_activity = Instant::now();
-            }
-            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                // Poll tick: re-check shutdown and the idle clock.
-                if last_activity.elapsed() >= shared.config.read_timeout {
-                    return;
-                }
-            }
-            Err(e) if e.kind() == ErrorKind::Interrupted => {}
-            Err(_) => return,
-        }
-    }
-}
-
-/// Answer every complete line in `buf`, in order, returning how many
-/// were served. `Err(())` means a response write failed and the
-/// connection is dead.
-fn serve_buffered_lines(
-    buf: &mut Vec<u8>,
-    stream: &mut TcpStream,
-    shared: &Shared,
-) -> Result<usize, ()> {
-    let mut served = 0usize;
-    while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
-        let line_bytes: Vec<u8> = buf.drain(..=pos).take(pos).collect();
-        let response = match std::str::from_utf8(&line_bytes) {
-            Ok(line) => dispatch(line, shared),
-            Err(_) => Response::Error {
-                code: ErrorCode::Protocol,
-                message: "request line is not valid UTF-8".to_string(),
-            }
-            .encode(),
-        };
-        shared
-            .counters
-            .requests_served
-            .fetch_add(1, Ordering::Relaxed);
-        if write_line(stream, &response).is_err() {
-            return Err(());
-        }
-        served += 1;
-    }
-    Ok(served)
-}
-
-/// Hand one line to the worker pool and wait for its response;
-/// saturation and shutdown come back as `overloaded` errors instead of
-/// blocking the connection.
-fn dispatch(line: &str, shared: &Shared) -> String {
-    let (reply_tx, reply_rx) = sync_channel(1);
-    let job = Job {
-        line: line.to_string(),
-        reply: reply_tx,
-    };
-    match shared.queue.submit(job) {
-        Ok(()) => match reply_rx.recv() {
-            Ok(response) => response,
-            // Unreachable in normal operation (workers outlive the
-            // queue), but a lost worker must not wedge the connection.
-            Err(_) => shared.overloaded_line("server shutting down"),
-        },
-        Err(SubmitError::Saturated) => {
-            shared
-                .counters
-                .requests_rejected_saturated
-                .fetch_add(1, Ordering::Relaxed);
-            shared.overloaded_line("server overloaded: request queue is full, retry later")
-        }
-        Err(SubmitError::ShuttingDown) => shared.overloaded_line("server shutting down"),
-    }
-}
-
-fn write_line(stream: &mut TcpStream, line: &str) -> std::io::Result<()> {
-    // One write_all per response: the lines are short and the socket
-    // has TCP_NODELAY, so there is no buffering layer to flush.
-    let mut out = String::with_capacity(line.len() + 1);
-    out.push_str(line);
-    out.push('\n');
-    stream.write_all(out.as_bytes())
 }

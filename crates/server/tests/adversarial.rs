@@ -1,0 +1,224 @@
+//! Slow and misbehaving clients against the event-loop core. The
+//! property under test is always the same: one bad connection may get
+//! itself disconnected, but it must never stall, starve, or block the
+//! other connections its loop owns — no loop ever blocks on a socket.
+
+use seesaw_core::protocol::{MethodSpec, Request, Response};
+use seesaw_core::{PreprocessConfig, Preprocessor, SearchService};
+use seesaw_dataset::{DatasetSpec, SyntheticDataset};
+use seesaw_server::{Client, Server, ServerConfig};
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn service(seed: u64) -> (Arc<SyntheticDataset>, Arc<SearchService>) {
+    let ds = Arc::new(
+        DatasetSpec::coco_like(0.001)
+            .with_max_queries(8)
+            .generate(seed),
+    );
+    let index = Preprocessor::new(PreprocessConfig::fast()).build(&ds);
+    let service = Arc::new(SearchService::new(index, Arc::clone(&ds)));
+    (ds, service)
+}
+
+/// Wait (bounded) until the server's open-connection count drops to
+/// `want` — connection teardown is asynchronous to the client's view.
+fn await_open_connections(server: &Server, want: usize, why: &str) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.open_connections() > want {
+        assert!(
+            Instant::now() < deadline,
+            "{why}: still {} connections open (wanted ≤ {want})",
+            server.open_connections()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// A slowloris writer trickles one request in byte-sized writes with
+/// delays. With one blocking thread per connection this monopolized a
+/// handler; the event loop must keep serving a concurrent fast client
+/// at full speed, and still answer the slow request once it finally
+/// arrives in full.
+#[test]
+fn slowloris_writer_does_not_stall_other_connections() {
+    let (ds, service) = service(31);
+    // One event loop on purpose: the slow and fast connections *share*
+    // a loop thread, so any blocking would show up as stalls.
+    let server = Server::bind(
+        service,
+        "127.0.0.1:0",
+        ServerConfig::default().with_event_loops(1),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let concept = ds.queries()[0].concept;
+
+    let slow = std::thread::spawn(move || {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let line = Request::Stats { session: 999 }.encode() + "\n";
+        for byte in line.as_bytes() {
+            stream.write_all(std::slice::from_ref(byte)).unwrap();
+            stream.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // The trickled request is complete now; it must be answered.
+        let mut reader = std::io::BufReader::new(stream);
+        let mut reply = String::new();
+        std::io::BufRead::read_line(&mut reader, &mut reply).unwrap();
+        let decoded = Response::decode(reply.trim_end()).unwrap();
+        // Session 999 never existed — but the error must be a real,
+        // well-formed answer to the slowly assembled line.
+        assert!(
+            matches!(decoded, Response::Error { .. }),
+            "unexpected reply to the trickled request: {reply}"
+        );
+    });
+
+    // Meanwhile, a fast client runs full round trips on the same loop.
+    // ~50 round trips comfortably overlap the ~40 byte-writes above.
+    let mut client = Client::connect(addr).unwrap();
+    client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    let session = client.create(concept, MethodSpec::SeeSaw, None).unwrap();
+    let mut slowest = Duration::ZERO;
+    for _ in 0..50 {
+        let t0 = Instant::now();
+        let (_, _, drift) = client.stats(session).unwrap();
+        assert!(drift.is_finite());
+        slowest = slowest.max(t0.elapsed());
+    }
+    client.close(session).unwrap();
+    // Generous bound — the point is "milliseconds, not the 400 ms the
+    // slowloris takes to finish its line".
+    assert!(
+        slowest < Duration::from_millis(250),
+        "fast client stalled behind the slowloris: slowest round trip {slowest:?}"
+    );
+
+    slow.join().unwrap();
+    let stats = server.shutdown();
+    assert_eq!(stats.connections_accepted, 2);
+}
+
+/// A client that pipelines requests but never reads a byte of the
+/// responses. Its responses back up (kernel buffer, then the server's
+/// per-connection write buffer), write backpressure stops its reads,
+/// and the stalled write side eventually gets it disconnected — while
+/// a well-behaved client on the same single loop keeps being served
+/// throughout.
+#[test]
+fn client_that_never_reads_is_shed_without_blocking_the_loop() {
+    let (ds, service) = service(37);
+    let server = Server::bind(
+        service,
+        "127.0.0.1:0",
+        ServerConfig::default()
+            .with_event_loops(1)
+            .with_queue_depth(512)
+            // Short stall timeout so the test observes the disconnect.
+            .with_write_timeout(Duration::from_millis(300)),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let concept = ds.queries()[0].concept;
+
+    // The misbehaving connection: a raw socket that firehoses requests
+    // and never reads a byte back. Unknown-session errors are fine —
+    // every request must still produce a response, and those responses
+    // have nowhere to go. A bounded write timeout ends the firehose
+    // once the server's backpressure stops reading us (this test must
+    // not itself block forever — that is the server's failure mode,
+    // not its test's).
+    let mut bad = TcpStream::connect(addr).unwrap();
+    bad.set_write_timeout(Some(Duration::from_millis(500)))
+        .unwrap();
+    let line = Request::NextBatch {
+        session: 424242,
+        n: 64,
+    }
+    .encode()
+        + "\n";
+    let burst = line.repeat(16);
+    let mut sent = 0usize;
+    while sent < 2 * 1024 * 1024 {
+        match bad.write(burst.as_bytes()) {
+            Ok(n) => sent += n,
+            // Timeout: the server stopped reading us (write-buffer
+            // backpressure) and every kernel buffer in between is
+            // full. Or the server already disconnected us — either
+            // way the firehose has done its job.
+            Err(_) => break,
+        }
+    }
+    assert!(
+        sent > 0,
+        "firehose never got a byte in — setup problem, not backpressure"
+    );
+    // ...and from here on it reads nothing, ever.
+
+    // The good client shares the loop and must not notice.
+    let mut good = Client::connect(addr).unwrap();
+    good.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    let session = good.create(concept, MethodSpec::SeeSaw, None).unwrap();
+    for _ in 0..30 {
+        let t0 = Instant::now();
+        good.stats(session).unwrap();
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "good client starved behind the non-reading client"
+        );
+    }
+    good.close(session).unwrap();
+
+    // The non-reader must be forcibly disconnected (write stall), not
+    // serviced forever into an unbounded buffer.
+    await_open_connections(&server, 1, "non-reading client was never shed");
+
+    // Both clients hang up; the loop must release every slot.
+    drop(bad);
+    drop(good);
+    await_open_connections(&server, 0, "client teardown");
+    server.shutdown();
+}
+
+/// A client that dies mid-line: the half request must be discarded
+/// (never answered, never counted) and the connection torn down
+/// promptly on the hangup — no timeout wait, no leaked slot.
+#[test]
+fn mid_line_disconnect_cleans_up_without_a_response() {
+    let (ds, service) = service(41);
+    let server = Server::bind(service, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+    let concept = ds.queries()[0].concept;
+
+    // A complete round trip first, so served-count bookkeeping below
+    // has a known baseline even while the killer connection overlaps.
+    let mut client = Client::connect(addr).unwrap();
+    let session = client.create(concept, MethodSpec::SeeSaw, None).unwrap();
+
+    {
+        let mut dying = TcpStream::connect(addr).unwrap();
+        // Half a request: valid JSON prefix, no terminating newline.
+        dying.write_all(br#"{"type":"stats","session"#).unwrap();
+        dying.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        // Dropped here: FIN lands with a partial line still buffered.
+    }
+
+    await_open_connections(&server, 1, "mid-line disconnect leaked its connection");
+
+    // The surviving client still works on its same connection.
+    let (shown, _, _) = client.stats(session).unwrap();
+    assert_eq!(shown, 0);
+    client.close(session).unwrap();
+
+    let stats = server.shutdown();
+    assert_eq!(stats.connections_accepted, 2);
+    // create + stats + close — and *not* the half request.
+    assert_eq!(
+        stats.requests_served, 3,
+        "a never-completed line must not be answered or counted"
+    );
+}

@@ -1,11 +1,15 @@
 //! The "server layer" of Fig. 3 — now over real sockets. A
 //! [`Server`] binds an ephemeral loopback port and serves the
-//! newline-delimited wire protocol through a bounded worker pool; six
-//! concurrent users connect over TCP with the typed [`Client`], then
-//! one more speaks raw protocol lines on a plain `TcpStream` (exactly
-//! what `nc` would send). The server is shut down gracefully at the
-//! end — in-flight requests drain, every thread is joined — and the
-//! process exits 0, which is what CI's server-smoke job asserts.
+//! newline-delimited wire protocol with its event-loop core: a few
+//! readiness-polled threads multiplex every connection, and a bounded
+//! worker pool runs the CPU-bound dispatch. Six concurrent users
+//! connect over TCP with the typed [`Client`], one more speaks raw
+//! protocol lines on a plain `TcpStream` (exactly what `nc` would
+//! send), and a final one pipelines a whole burst of requests down one
+//! socket — in-order responses for one round trip. The server is shut
+//! down gracefully at the end — in-flight requests drain, every thread
+//! is joined — and the process exits 0, which is what CI's
+//! server-smoke job asserts.
 //!
 //! ```sh
 //! cargo run --release --example search_server
@@ -145,6 +149,42 @@ fn main() {
         }
     }
     round_trip(Request::Close { session }.encode());
+
+    // A pipelined user: one connection, a whole burst of requests
+    // written back-to-back, responses collected in request order — the
+    // event loop buffers the burst and executes it in arrival order,
+    // so it costs one network round trip instead of one per request.
+    let concept = dataset.queries()[7 % dataset.queries().len()].concept;
+    let mut pipelined = Client::connect(addr).expect("connect");
+    let session = pipelined
+        .create(concept, MethodSpec::SeeSaw, None)
+        .expect("create");
+    let burst: Vec<Request> = (0..8)
+        .flat_map(|_| {
+            [
+                Request::NextBatch { session, n: 1 },
+                Request::Stats { session },
+            ]
+        })
+        .chain(std::iter::once(Request::Close { session }))
+        .collect();
+    let responses = pipelined.pipeline(&burst).expect("pipelined burst");
+    assert_eq!(responses.len(), burst.len());
+    // In-order proof: each stats reply reflects exactly the batches
+    // that preceded it in the burst.
+    let shown_counts: Vec<u64> = responses
+        .iter()
+        .filter_map(|r| match r {
+            Response::Stats { images_shown, .. } => Some(*images_shown),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(shown_counts, (1..=8).collect::<Vec<u64>>());
+    println!(
+        "\npipelined user: {} requests down one socket in one burst, \
+         responses in order (shown counts {shown_counts:?})",
+        burst.len()
+    );
 
     // Graceful shutdown: drain in-flight requests, join every thread.
     let stats = server.shutdown();

@@ -28,9 +28,11 @@
 //!   per-session-locked, typed errors) plus the [`core::protocol`]
 //!   request/response line codec.
 //! * [`server`] — the TCP front end over that protocol: a
-//!   [`server::Server`] with a bounded worker pool, backpressure,
-//!   connection caps, graceful drain, and the blocking
-//!   [`server::Client`].
+//!   [`server::Server`] whose readiness-polled event loops multiplex
+//!   thousands of (mostly idle) connections with request pipelining,
+//!   over a bounded worker pool with backpressure, connection caps,
+//!   and graceful drain; plus the [`server::Client`], lockstep or
+//!   pipelined.
 //! * [`metrics`] — the paper's Average Precision protocol and summary
 //!   statistics.
 //!

@@ -106,6 +106,103 @@ fn eight_socket_clients_interleave_without_losing_feedback() {
     assert_eq!(stats.connections_rejected, 0);
 }
 
+/// Sixty-four concurrent connections, each pipelining its whole
+/// workload: after one create round trip, every client writes 12
+/// alternating `next_batch`/`stats` request pairs plus a `close`
+/// back-to-back down the socket, then collects the responses. This is
+/// the concurrency level the blocking (thread-per-connection) server
+/// never saw and the load shape it could not express at all.
+///
+/// The in-order proof is the stats interleave: the i-th `stats` reply
+/// must report exactly `i` images shown — any reordering against the
+/// preceding `next_batch` requests on the same connection breaks the
+/// sequence 1, 2, 3, …
+#[test]
+fn sixty_four_pipelined_clients_get_ordered_responses() {
+    const CLIENTS: usize = 64;
+    const ROUNDS: usize = 12;
+    // Deep queue: with 64 connections each allowed a full pipeline
+    // window, peak backlog is far beyond the default depth, and this
+    // test requires zero shedding.
+    let (ds, server) = serve(
+        303,
+        ServerConfig::default()
+            .with_queue_depth(2048)
+            .with_max_connections(CLIENTS + 8),
+    );
+    let addr = server.local_addr();
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|t| {
+                let ds = Arc::clone(&ds);
+                let barrier = Arc::clone(&barrier);
+                scope.spawn(move || {
+                    use seesaw::core::protocol::{Request, Response};
+                    let concept = ds.queries()[t % ds.queries().len()].concept;
+                    let mut client = Client::connect(addr).expect("connect");
+                    client
+                        .set_timeout(Some(Duration::from_secs(60)))
+                        .expect("timeout");
+                    let session = client
+                        .create(concept, MethodSpec::SeeSaw, None)
+                        .expect("create must succeed");
+                    barrier.wait();
+
+                    let burst: Vec<Request> = (0..ROUNDS)
+                        .flat_map(|_| {
+                            [
+                                Request::NextBatch { session, n: 1 },
+                                Request::Stats { session },
+                            ]
+                        })
+                        .chain(std::iter::once(Request::Close { session }))
+                        .collect();
+                    let responses = client.pipeline(&burst).expect("pipelined burst");
+                    assert_eq!(responses.len(), burst.len());
+
+                    let shown_seq: Vec<u64> = responses
+                        .iter()
+                        .filter_map(|r| match r {
+                            Response::Stats { images_shown, .. } => Some(*images_shown),
+                            _ => None,
+                        })
+                        .collect();
+                    let expected: Vec<u64> = (1..=ROUNDS as u64).collect();
+                    assert_eq!(
+                        shown_seq, expected,
+                        "client {t}: responses arrived out of request order"
+                    );
+                    for r in &responses {
+                        assert!(
+                            !matches!(r, Response::Error { .. }),
+                            "client {t}: unexpected error in burst: {}",
+                            r.encode()
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+
+    // Exact wire accounting: create + close = 2, plus 2*ROUNDS
+    // pipelined requests per client — every line answered exactly
+    // once, none shed, none duplicated.
+    let stats = server.shutdown();
+    assert_eq!(
+        stats.requests_served as usize,
+        CLIENTS * (2 + 2 * ROUNDS),
+        "every pipelined request line must be answered exactly once"
+    );
+    assert_eq!(stats.requests_rejected_saturated, 0, "nothing may shed");
+    assert_eq!(stats.connections_accepted as usize, CLIENTS);
+    assert_eq!(stats.connections_rejected, 0);
+}
+
 /// Two sessions driven alternately by eight clients over separate
 /// connections: feedback for session A must never leak into session B,
 /// no matter how the connection threads race.
