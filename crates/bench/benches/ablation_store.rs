@@ -5,7 +5,8 @@
 //! selected through `StoreConfig` rather than hardcoded types:
 //!
 //! 1. recall@10 and per-lookup latency of every backend (exact scan,
-//!    RP forest, IVF) against the exact scan;
+//!    RP forest, IVF — the dense backends at both `f32` and `f16` row
+//!    storage) against the exact scan;
 //! 2. wall-clock speedup of sharded exact search over the unsharded
 //!    scan at 1/2/4/8 shards (the parallelism layer's headline number —
 //!    expect ≈ linear scaling up to the machine's core count);
@@ -19,7 +20,7 @@ use seesaw_bench::{ap_per_query, bench_seed, bench_store_config, mean_ap};
 use seesaw_core::{MethodConfig, PreprocessConfig, Preprocessor};
 use seesaw_dataset::DatasetSpec;
 use seesaw_metrics::{BenchmarkProtocol, TableBuilder};
-use seesaw_vecstore::{IvfConfig, RpForestConfig, StoreConfig, VectorStore};
+use seesaw_vecstore::{IvfConfig, RowPrecision, RpForestConfig, StoreConfig, VectorStore};
 
 fn main() {
     let scale = 0.01 * seesaw_bench::env_f64("SEESAW_SCALE", 1.0);
@@ -38,19 +39,28 @@ fn main() {
         .collect();
 
     // --- recall + latency per backend -------------------------------
+    // The dense-row backends (exact, IVF) additionally sweep the row
+    // storage precision: f16 halves scan bandwidth and costs at most a
+    // one-time rounding of each stored row.
     let backends = [
-        StoreConfig::exact(),
-        StoreConfig::forest(RpForestConfig::default()),
-        StoreConfig::ivf(IvfConfig::default()),
+        ("exact", StoreConfig::exact()),
+        (
+            "exact-f16",
+            StoreConfig::exact().with_precision(RowPrecision::F16),
+        ),
+        ("forest", StoreConfig::forest(RpForestConfig::default())),
+        ("ivf", StoreConfig::ivf(IvfConfig::default())),
+        (
+            "ivf-f16",
+            StoreConfig::ivf(IvfConfig::default()).with_precision(RowPrecision::F16),
+        ),
     ];
     let exact = StoreConfig::exact().build(idx.dim, data.clone());
-    let mut recall_table =
-        TableBuilder::new("Backend recall@10 and lookup latency (default knobs)").header([
-            "backend",
-            "recall@10",
-            "lookup µs",
-        ]);
-    for cfg in &backends {
+    let mut recall_table = TableBuilder::new(
+        "Backend recall@10 and lookup latency (default knobs, f32 and f16 row storage)",
+    )
+    .header(["backend", "recall@10", "lookup µs"]);
+    for (label, cfg) in &backends {
         let store = cfg.clone().build(idx.dim, data.clone());
         let mut hit = 0usize;
         let mut total = 0usize;
@@ -67,7 +77,7 @@ fn main() {
                 .count();
         }
         recall_table.row([
-            cfg.backend_name().to_string(),
+            label.to_string(),
             format!("{:.3}", hit as f64 / total.max(1) as f64),
             format!("{:.0}", lookup.as_secs_f64() * 1e6 / queries.len() as f64),
         ]);
@@ -111,7 +121,7 @@ fn main() {
     // --- end-to-end mAP per backend ----------------------------------
     let mut backend_ap = TableBuilder::new("SeeSaw mAP per store backend (default budget)")
         .header(["backend", "mAP"]);
-    for cfg in &backends {
+    for (label, cfg) in &backends {
         // Swap only the store: embeddings, graphs, and M_D are shared.
         // (`build` hands back Arc<DatasetIndex>; clone the inner value
         // to get a mutable copy, then re-share it.)
@@ -122,7 +132,7 @@ fn main() {
             .build(idx.dim, data.clone());
         let idx_b = std::sync::Arc::new(idx_b);
         let aps = ap_per_query(&idx_b, &ds, &|_, _, _| MethodConfig::seesaw(), &proto);
-        backend_ap.num_row(cfg.backend_name(), &[mean_ap(&aps)], 3);
+        backend_ap.num_row(*label, &[mean_ap(&aps)], 3);
     }
     println!("{backend_ap}");
 

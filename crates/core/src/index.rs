@@ -93,8 +93,10 @@ impl DatasetIndex {
     /// a coarse-only index is one [`seesaw_linalg::gemv1_into`] over
     /// the contiguous embedding block; a multiscale index gathers
     /// coarse rows in blocks and scores each block while it is cache
-    /// resident. Scores are bit-identical to per-image
-    /// `dot(query, coarse_vector(i))` calls.
+    /// resident. The kernels dispatch to the machine's best SIMD tier
+    /// (`SEESAW_SIMD` to pin), and every tier is bitwise identical, so
+    /// scores are bit-identical to per-image
+    /// `dot(query, coarse_vector(i))` calls on any tier.
     ///
     /// # Panics
     /// Panics when `query.len() != self.dim`.

@@ -11,6 +11,13 @@
 //! structurally: the embedding pass dominates preprocessing cost (it is
 //! the part the paper runs on GPUs), while index construction is cheap
 //! and this keeps the on-disk format small and stable.
+//!
+//! Every `f32` travels as its raw IEEE-754 bit pattern
+//! (`to_le_bytes`/`from_le_bytes`), so the round trip is **bit-exact**
+//! for every representable value — subnormals, signed zeros, infinities
+//! and NaN payloads included; no decimal formatting or parsing is ever
+//! involved. `roundtrip_is_bit_exact_for_adversarial_floats` pins this
+//! down with property tests over hostile bit patterns.
 
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
@@ -203,6 +210,109 @@ mod tests {
             }
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    mod adversarial {
+        use super::super::*;
+        use crate::index::PatchMeta;
+        use crate::preprocess::{rebuild_from_embeddings, PreprocessConfig};
+        use proptest::prelude::*;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        use seesaw_dataset::BBox;
+        use seesaw_vecstore::StoreConfig;
+
+        /// Hostile but representable f32s: NaNs with payloads, signed
+        /// zeros, infinities, subnormals, and extreme magnitudes, mixed
+        /// with arbitrary bit patterns.
+        fn adversarial_f32(rng: &mut StdRng) -> f32 {
+            const SPECIALS: [u32; 12] = [
+                0x7fc0_0001, // quiet NaN with payload
+                0xffc1_2345, // negative NaN with payload
+                0x7f80_0000, // +inf
+                0xff80_0000, // -inf
+                0x8000_0000, // -0.0
+                0x0000_0000, // +0.0
+                0x0000_0001, // smallest subnormal
+                0x8000_0001, // smallest negative subnormal
+                0x007f_ffff, // largest subnormal
+                0x0080_0000, // smallest normal
+                0x7f7f_ffff, // f32::MAX
+                0xff7f_ffff, // f32::MIN
+            ];
+            if rng.gen_range(0u32..2) == 0 {
+                f32::from_bits(SPECIALS[rng.gen_range(0..SPECIALS.len())])
+            } else {
+                f32::from_bits(rng.gen_range(0u32..u32::MAX))
+            }
+        }
+
+        fn bits(v: &[f32]) -> Vec<u32> {
+            v.iter().map(|x| x.to_bits()).collect()
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+
+            /// Save → load returns every f32 — embeddings and bbox
+            /// fields — with its exact bit pattern, even for values
+            /// `PartialEq` cannot compare (NaN) or decimal formatting
+            /// would mangle (subnormals, payloads).
+            #[test]
+            fn roundtrip_is_bit_exact_for_adversarial_floats(
+                seed in 0u64..400,
+                n_images in 1usize..5,
+            ) {
+                let dim = 4usize;
+                let mut rng = StdRng::seed_from_u64(seed);
+                let embeddings: Vec<f32> =
+                    (0..n_images * dim).map(|_| adversarial_f32(&mut rng)).collect();
+                let patches: Vec<PatchMeta> = (0..n_images)
+                    .map(|i| PatchMeta {
+                        image: i as u32,
+                        bbox: BBox::new(
+                            adversarial_f32(&mut rng),
+                            adversarial_f32(&mut rng),
+                            adversarial_f32(&mut rng),
+                            adversarial_f32(&mut rng),
+                        ),
+                        is_coarse: true,
+                    })
+                    .collect();
+                let ranges: Vec<(u32, u32)> =
+                    (0..n_images as u32).map(|i| (i, i + 1)).collect();
+                // Exact store, graphs infeasible at this size: the
+                // rebuild must not choke on non-finite embeddings.
+                let cfg = PreprocessConfig::fast().with_store(StoreConfig::exact());
+                let index = rebuild_from_embeddings(
+                    dim,
+                    embeddings.clone(),
+                    patches.clone(),
+                    ranges,
+                    false,
+                    &cfg,
+                );
+                let dir = std::env::temp_dir().join("seesaw-persist-test");
+                std::fs::create_dir_all(&dir).unwrap();
+                let path = dir.join(format!("adversarial-{seed}-{n_images}.bin"));
+                save_embeddings(&index, &path).unwrap();
+                let loaded = load_embeddings(&path, &cfg).unwrap();
+                std::fs::remove_file(&path).ok();
+                // Bit compare, not PartialEq: NaN != NaN would make the
+                // assertion vacuous exactly where it matters most.
+                prop_assert_eq!(
+                    bits(loaded.embeddings.as_slice()),
+                    bits(index.embeddings.as_slice())
+                );
+                for (l, o) in loaded.patches.iter().zip(&patches) {
+                    prop_assert_eq!(l.image, o.image);
+                    prop_assert_eq!(l.is_coarse, o.is_coarse);
+                    let lb = [l.bbox.x, l.bbox.y, l.bbox.w, l.bbox.h];
+                    let ob = [o.bbox.x, o.bbox.y, o.bbox.w, o.bbox.h];
+                    prop_assert_eq!(bits(&lb), bits(&ob));
+                }
+            }
+        }
     }
 
     #[test]

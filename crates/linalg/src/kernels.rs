@@ -1,90 +1,124 @@
 //! Blocked scoring kernels — the single scoring primitive of the
-//! workspace.
+//! workspace, dispatched over runtime-detected SIMD tiers.
 //!
 //! Every inner product computed anywhere in the SeeSaw reproduction
 //! (vector-store scans, ENS priors, aligner quadratic forms, kNN
 //! builds) funnels through [`dot`], and the batched paths funnel
-//! through [`gemv_into`]. Centralizing the arithmetic buys two things:
+//! through [`gemv_into`]/[`gemv1_into`] (plus the `_f16` variants for
+//! half-precision row storage). Centralizing the arithmetic buys:
 //!
-//! 1. **Speed.** [`dot`] accumulates in eight independent lanes over
-//!    `chunks_exact(8)`, which breaks the serial floating-point
-//!    dependency chain of a naive loop and lets the auto-vectorizer
-//!    emit SIMD reductions; [`gemv_into`] additionally *blocks* over
-//!    rows so that a block of the row matrix is read from memory once
-//!    and scored against every query while it is cache resident. On
-//!    the memory-bandwidth-bound dense scan this is the difference
-//!    between being bound by compute latency and being bound by DRAM.
-//! 2. **Determinism by construction.** All backends score through the
-//!    same kernel, so cross-backend bit-identity guarantees (e.g.
-//!    sharded-exact ≡ exact in `tests/store_equivalence.rs`) hold
-//!    without per-backend care.
+//! 1. **Speed.** Each kernel executes on the best instruction-set tier
+//!    the CPU supports — explicit AVX2 (+F16C) on x86_64, NEON on
+//!    aarch64, lane-unrolled portable scalar everywhere — selected once
+//!    per process by [`crate::simd::active_tier`] (override with
+//!    `SEESAW_SIMD=scalar|avx2|neon|auto`, pin in-process with
+//!    [`crate::simd::force_tier`]). The GEMV kernels additionally
+//!    *block* over rows so a block of the row matrix is read from
+//!    memory once per query batch, and the SIMD tiers score several
+//!    rows per loop to keep independent accumulator chains in flight.
+//!    The f16 kernels score f16-encoded rows directly (widening
+//!    in-register on AVX2), halving the memory traffic of a dense scan.
+//! 2. **Determinism by construction.** All backends and all tiers
+//!    score through the same canonical arithmetic (below), so
+//!    cross-backend bit-identity guarantees (e.g. sharded-exact ≡
+//!    exact in `tests/store_equivalence.rs`) hold without per-backend
+//!    care — and survive tier switches and machine moves.
 //!
 //! # Kernel contracts
 //!
-//! * **Fixed accumulation order.** [`dot`] sums lane-major:
-//!   `((l0+l4)+(l1+l5)) + ((l2+l6)+(l3+l7))` over the eight lane
-//!   accumulators, then adds the scalar remainder term. This order is
-//!   part of the public contract — it is *the* canonical summation
-//!   order of the workspace — and every batched kernel ([`gemv_into`],
-//!   [`gemv1_into`]) computes each score by the exact same sequence of
-//!   operations, so `gemv_into` output is bit-identical to calling
-//!   [`dot`] per row.
-//! * **Determinism.** Given identical inputs, every kernel returns
-//!   bit-identical results on every call (no threading, no
-//!   data-dependent reassociation).
-//! * **Panics.** [`dot`] and the blocked kernels ([`gemv_into`],
-//!   [`gemv1_into`], [`normalize_rows`]) panic in **all** builds on a
-//!   shape mismatch (`a.len() != b.len()`, a buffer that is not a
-//!   multiple of `dim`, an `out` slice of the wrong length): the
-//!   unrolled remainder handling would silently pair misaligned tails
-//!   otherwise, and the length-equality fact is exactly what lets the
-//!   optimizer vectorize the lane loop. The element-wise kernels
-//!   ([`axpy`], [`scale_add`]) keep the historical `debug_assert!`
-//!   contract (their release fallback — truncating to the common
-//!   prefix — is well defined).
+//! * **Fixed accumulation order.** [`dot`] sums lane-major: eight lane
+//!   accumulators filled in chunk order with separate multiply and add
+//!   roundings (no FMA on any tier), combined as
+//!   `((l0+l4)+(l1+l5)) + ((l2+l6)+(l3+l7))`, then the scalar
+//!   remainder added left-to-right. This order is part of the public
+//!   contract — it is *the* canonical summation order of the workspace
+//!   — and every batched kernel computes each score by the exact same
+//!   sequence of operations, so [`gemv_into`] output is bit-identical
+//!   to calling [`dot`] per row.
+//! * **Tier equivalence.** Every SIMD tier replays that operation
+//!   sequence exactly, so each kernel is **bitwise identical across
+//!   tiers** (pinned by per-tier proptests). The scalar tier is the
+//!   reference; `SEESAW_SIMD=scalar` runs it everywhere.
+//! * **f16 semantics.** The `_f16` kernels take rows as IEEE binary16
+//!   bit patterns (`&[u16]`, see [`crate::half`]), widen each element
+//!   exactly to `f32`, and accumulate in `f32` in the canonical order:
+//!   `dot_f16(row, q)` is bit-identical to `dot(decode(row), q)`.
+//!   Precision is lost only once, when the row is *encoded* (round to
+//!   nearest, ties to even) — never during scoring.
+//! * **Determinism.** Given identical inputs and tier, every kernel
+//!   returns bit-identical results on every call (no threading, no
+//!   data-dependent reassociation) — and the tier doesn't change the
+//!   answer either, per the previous point.
+//! * **Panics.** Every kernel panics in **all** builds on a shape
+//!   mismatch (`a.len() != b.len()`, a buffer that is not a multiple
+//!   of `dim`, an `out` slice of the wrong length): the unrolled
+//!   remainder handling would silently pair misaligned tails
+//!   otherwise. This includes the element-wise kernels [`axpy`] and
+//!   [`scale_add`], whose historical debug-only check let release
+//!   builds silently truncate to the common prefix.
+//! * **Degenerate rows.** [`normalize_rows`] **zero-fills** rows whose
+//!   norm is at or below `f32::EPSILON` (no meaningful direction;
+//!   dividing by a denormal norm would overflow to ±∞), matching
+//!   [`crate::vector::normalize`] per row bit for bit.
 
-/// Accumulator lanes in [`dot`]. Eight `f32` lanes fill one 256-bit
-/// SIMD register; the auto-vectorizer keeps the whole accumulator
-/// state in a single vector register on AVX2-class hardware.
-const LANES: usize = 8;
+use crate::simd::{
+    active_tier, dispatch_dot, dispatch_dot_f16, dispatch_gemv1, dispatch_gemv1_f16, Tier,
+};
 
 /// Rows per cache block in [`gemv_into`]: `16 × 512 dims × 4 B = 32 KiB`
 /// at the largest common embedding width — sized to stay L1-resident
 /// while a block is re-scored against every query of a batch.
 const ROW_BLOCK: usize = 16;
 
-/// Inner product `a · b` — the workspace's canonical scoring kernel.
-///
-/// Multi-accumulator unrolled over eight lanes with the fixed
-/// combination order documented in the [module docs](self); the
-/// auto-vectorizer turns the lane loop into SIMD on `-O`.
+/// Inner product `a · b` — the workspace's canonical scoring kernel,
+/// on the active SIMD tier.
 ///
 /// # Panics
 /// Panics if the slices have different lengths — in every build: the
-/// asserted equality is also what lets the optimizer keep the lane
-/// loop vectorized at every call site.
+/// unrolled remainder handling would silently pair misaligned tails
+/// otherwise.
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    dot_with(active_tier(), a, b)
+}
+
+/// [`dot`] on an explicit tier (benches/tests sweeping the ISA
+/// matrix). Unsupported tiers fall back to scalar.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn dot_with(tier: Tier, a: &[f32], b: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len(), "dot length mismatch");
-    let mut acc = [0.0f32; LANES];
-    let mut ca = a.chunks_exact(LANES);
-    let mut cb = b.chunks_exact(LANES);
-    for (xa, xb) in (&mut ca).zip(&mut cb) {
-        for l in 0..LANES {
-            acc[l] += xa[l] * xb[l];
-        }
-    }
-    let mut tail = 0.0f32;
-    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
-        tail += x * y;
-    }
-    ((acc[0] + acc[4]) + (acc[1] + acc[5])) + ((acc[2] + acc[6]) + (acc[3] + acc[7])) + tail
+    dispatch_dot(tier, a, b)
+}
+
+/// Inner product of an f16-encoded row against an `f32` query, on the
+/// active SIMD tier. Bit-identical to decoding the row
+/// ([`crate::half::f32_from_f16`] per element) and calling [`dot`].
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn dot_f16(a: &[u16], b: &[f32]) -> f32 {
+    dot_f16_with(active_tier(), a, b)
+}
+
+/// [`dot_f16`] on an explicit tier.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn dot_f16_with(tier: Tier, a: &[u16], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    dispatch_dot_f16(tier, a, b)
 }
 
 /// Scalar reference inner product: one pair per iteration, strictly
 /// left-to-right summation. This is the pre-kernel implementation, kept
 /// as the accuracy reference for the kernel proptests and as the
-/// baseline arm of the `scan_throughput` bench.
+/// baseline arm of the `scan_throughput` bench. (Not to be confused
+/// with the scalar *tier*, which uses the canonical eight-lane order.)
 #[inline]
 pub fn dot_scalar(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
@@ -99,10 +133,12 @@ pub fn dot_scalar(a: &[f32], b: &[f32]) -> f32 {
 /// auto-vectorizes without multi-accumulator tricks.
 ///
 /// # Panics
-/// Panics in debug builds if the slices have different lengths.
+/// Panics if the slices have different lengths — in every build. (The
+/// historical debug-only assert let release builds silently truncate
+/// to the common prefix on mismatched calls.)
 #[inline]
 pub fn axpy(y: &mut [f32], a: f32, x: &[f32]) {
-    debug_assert_eq!(y.len(), x.len());
+    assert_eq!(y.len(), x.len(), "axpy length mismatch");
     for (yi, xi) in y.iter_mut().zip(x.iter()) {
         *yi += a * xi;
     }
@@ -114,10 +150,12 @@ pub fn axpy(y: &mut [f32], a: f32, x: &[f32]) {
 /// unfused pair.
 ///
 /// # Panics
-/// Panics in debug builds if the slices have different lengths.
+/// Panics if the slices have different lengths — in every build. (The
+/// historical debug-only assert let release builds silently truncate
+/// to the common prefix on mismatched calls.)
 #[inline]
 pub fn scale_add(y: &mut [f32], beta: f32, alpha: f32, x: &[f32]) {
-    debug_assert_eq!(y.len(), x.len());
+    assert_eq!(y.len(), x.len(), "scale_add length mismatch");
     for (yi, xi) in y.iter_mut().zip(x.iter()) {
         *yi = beta * *yi + alpha * xi;
     }
@@ -139,6 +177,11 @@ pub fn scale_add(y: &mut [f32], beta: f32, alpha: f32, x: &[f32]) {
 /// any query's length differs from `dim`, or `out.len()` differs from
 /// `queries.len() * (rows.len() / dim)`.
 pub fn gemv_into(rows: &[f32], dim: usize, queries: &[&[f32]], out: &mut [f32]) {
+    gemv_into_with(active_tier(), rows, dim, queries, out)
+}
+
+/// [`gemv_into`] on an explicit tier. Same contracts.
+pub fn gemv_into_with(tier: Tier, rows: &[f32], dim: usize, queries: &[&[f32]], out: &mut [f32]) {
     assert!(dim > 0, "dimension must be positive");
     assert_eq!(rows.len() % dim, 0, "buffer is not a multiple of dim");
     let n = rows.len() / dim;
@@ -148,11 +191,10 @@ pub fn gemv_into(rows: &[f32], dim: usize, queries: &[&[f32]], out: &mut [f32]) 
     }
     for block_start in (0..n).step_by(ROW_BLOCK) {
         let block_end = (block_start + ROW_BLOCK).min(n);
+        let block = &rows[block_start * dim..block_end * dim];
         for (qi, q) in queries.iter().enumerate() {
-            let out_q = &mut out[qi * n..(qi + 1) * n];
-            for r in block_start..block_end {
-                out_q[r] = dot(&rows[r * dim..(r + 1) * dim], q);
-            }
+            let out_q = &mut out[qi * n + block_start..qi * n + block_end];
+            dispatch_gemv1(tier, block, dim, q, out_q);
         }
     }
 }
@@ -164,32 +206,99 @@ pub fn gemv_into(rows: &[f32], dim: usize, queries: &[&[f32]], out: &mut [f32]) 
 /// Panics when `dim == 0`, `rows.len()` is not a multiple of `dim`,
 /// `query.len() != dim`, or `out.len() != rows.len() / dim`.
 pub fn gemv1_into(rows: &[f32], dim: usize, query: &[f32], out: &mut [f32]) {
+    gemv1_into_with(active_tier(), rows, dim, query, out)
+}
+
+/// [`gemv1_into`] on an explicit tier. Same contracts.
+pub fn gemv1_into_with(tier: Tier, rows: &[f32], dim: usize, query: &[f32], out: &mut [f32]) {
     assert!(dim > 0, "dimension must be positive");
     assert_eq!(rows.len() % dim, 0, "buffer is not a multiple of dim");
     assert_eq!(query.len(), dim, "query dimension mismatch");
     assert_eq!(out.len(), rows.len() / dim, "output length mismatch");
-    for (o, row) in out.iter_mut().zip(rows.chunks_exact(dim)) {
-        *o = dot(row, query);
+    dispatch_gemv1(tier, rows, dim, query, out);
+}
+
+/// Blocked multi-query GEMV over f16-encoded rows: the [`gemv_into`]
+/// twin for half-precision row storage. Each score is computed by
+/// [`dot_f16`], so the output is bit-identical to decoding the rows
+/// and calling [`gemv_into`].
+///
+/// # Panics
+/// Same shape contract as [`gemv_into`].
+pub fn gemv_f16_into(rows: &[u16], dim: usize, queries: &[&[f32]], out: &mut [f32]) {
+    gemv_f16_into_with(active_tier(), rows, dim, queries, out)
+}
+
+/// [`gemv_f16_into`] on an explicit tier. Same contracts.
+pub fn gemv_f16_into_with(
+    tier: Tier,
+    rows: &[u16],
+    dim: usize,
+    queries: &[&[f32]],
+    out: &mut [f32],
+) {
+    assert!(dim > 0, "dimension must be positive");
+    assert_eq!(rows.len() % dim, 0, "buffer is not a multiple of dim");
+    let n = rows.len() / dim;
+    assert_eq!(out.len(), n * queries.len(), "output length mismatch");
+    for q in queries {
+        assert_eq!(q.len(), dim, "query dimension mismatch");
+    }
+    for block_start in (0..n).step_by(ROW_BLOCK) {
+        let block_end = (block_start + ROW_BLOCK).min(n);
+        let block = &rows[block_start * dim..block_end * dim];
+        for (qi, q) in queries.iter().enumerate() {
+            let out_q = &mut out[qi * n + block_start..qi * n + block_end];
+            dispatch_gemv1_f16(tier, block, dim, q, out_q);
+        }
     }
 }
 
+/// Single-query GEMV over f16-encoded rows: `out[r] = decode(rows[r])
+/// · query`, computed without materializing the decoded rows.
+///
+/// # Panics
+/// Same shape contract as [`gemv1_into`].
+pub fn gemv1_f16_into(rows: &[u16], dim: usize, query: &[f32], out: &mut [f32]) {
+    gemv1_f16_into_with(active_tier(), rows, dim, query, out)
+}
+
+/// [`gemv1_f16_into`] on an explicit tier. Same contracts.
+pub fn gemv1_f16_into_with(tier: Tier, rows: &[u16], dim: usize, query: &[f32], out: &mut [f32]) {
+    assert!(dim > 0, "dimension must be positive");
+    assert_eq!(rows.len() % dim, 0, "buffer is not a multiple of dim");
+    assert_eq!(query.len(), dim, "query dimension mismatch");
+    assert_eq!(out.len(), rows.len() / dim, "output length mismatch");
+    dispatch_gemv1_f16(tier, rows, dim, query, out);
+}
+
 /// Normalize every `dim`-length row of `data` to unit length in one
-/// blocked pass. Rows with norm at or below `f32::EPSILON` are left
-/// untouched (no meaningful direction), matching
-/// [`crate::vector::normalize`] per row bit for bit.
+/// blocked pass. Rows with norm at or below `f32::EPSILON` are
+/// **zero-filled**: they carry no meaningful direction, and dividing
+/// by a denormal norm would overflow the reciprocal to ±∞ and poison
+/// the row with ±∞/NaN. Matches [`crate::vector::normalize`] per row
+/// bit for bit. The row norm is computed by [`dot`], so the result is
+/// identical on every tier.
 ///
 /// # Panics
 /// Panics when `dim == 0` or `data.len()` is not a multiple of `dim`.
 pub fn normalize_rows(data: &mut [f32], dim: usize) {
+    normalize_rows_with(active_tier(), data, dim)
+}
+
+/// [`normalize_rows`] on an explicit tier. Same contracts.
+pub fn normalize_rows_with(tier: Tier, data: &mut [f32], dim: usize) {
     assert!(dim > 0, "dimension must be positive");
     assert_eq!(data.len() % dim, 0, "buffer is not a multiple of dim");
     for row in data.chunks_exact_mut(dim) {
-        let n = dot(row, row).sqrt();
+        let n = dispatch_dot(tier, row, row).sqrt();
         if n > f32::EPSILON {
             let inv = 1.0 / n;
             for x in row.iter_mut() {
                 *x *= inv;
             }
+        } else {
+            row.fill(0.0);
         }
     }
 }
@@ -197,9 +306,12 @@ pub fn normalize_rows(data: &mut [f32], dim: usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::half::{encode_f16, f32_from_f16};
     use crate::vector::{normalize, random_unit_vector};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    const LANES: usize = crate::simd::LANES;
 
     fn random_rows(n: usize, dim: usize, seed: u64) -> Vec<f32> {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -246,6 +358,21 @@ mod tests {
     }
 
     #[test]
+    fn dot_f16_matches_decode_then_dot_bitwise() {
+        for len in 0..=3 * LANES {
+            let a = random_rows(1, len.max(1), 11)[..len].to_vec();
+            let b = random_rows(1, len.max(1), 12)[..len].to_vec();
+            let enc = encode_f16(&a);
+            let decoded: Vec<f32> = enc.iter().map(|&h| f32_from_f16(h)).collect();
+            assert_eq!(
+                dot_f16(&enc, &b).to_bits(),
+                dot(&decoded, &b).to_bits(),
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
     fn gemv_matches_per_row_dot_bitwise() {
         let dim = 37; // deliberately not a multiple of the lane width
         let n = 45; // deliberately not a multiple of the row block
@@ -269,10 +396,34 @@ mod tests {
     }
 
     #[test]
+    fn gemv_f16_matches_per_row_dot_f16_bitwise() {
+        let dim = 37;
+        let n = 45;
+        let rows = encode_f16(&random_rows(n, dim, 13));
+        let queries_data = random_rows(3, dim, 14);
+        let queries: Vec<&[f32]> = queries_data.chunks_exact(dim).collect();
+        let mut out = vec![0.0f32; 3 * n];
+        gemv_f16_into(&rows, dim, &queries, &mut out);
+        for (qi, q) in queries.iter().enumerate() {
+            for r in 0..n {
+                let reference = dot_f16(&rows[r * dim..(r + 1) * dim], q);
+                assert_eq!(out[qi * n + r].to_bits(), reference.to_bits());
+            }
+        }
+        let mut single = vec![0.0f32; n];
+        gemv1_f16_into(&rows, dim, queries[1], &mut single);
+        for r in 0..n {
+            assert_eq!(single[r].to_bits(), out[n + r].to_bits());
+        }
+    }
+
+    #[test]
     fn gemv_handles_empty_rows() {
         let mut out: Vec<f32> = Vec::new();
         gemv_into(&[], 8, &[&[0.0; 8]], &mut out);
         gemv1_into(&[], 8, &[0.0; 8], &mut out);
+        gemv_f16_into(&[], 8, &[&[0.0; 8]], &mut out);
+        gemv1_f16_into(&[], 8, &[0.0; 8], &mut out);
     }
 
     #[test]
@@ -289,10 +440,25 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "axpy length mismatch")]
+    fn axpy_panics_on_length_mismatch_in_all_builds() {
+        let mut y = vec![0.0f32; 4];
+        axpy(&mut y, 1.0, &[1.0f32; 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale_add length mismatch")]
+    fn scale_add_panics_on_length_mismatch_in_all_builds() {
+        let mut y = vec![0.0f32; 6];
+        scale_add(&mut y, 1.0, 1.0, &[1.0f32; 2]);
+    }
+
+    #[test]
     fn normalize_rows_matches_per_row_normalize_bitwise() {
         let dim = 19;
         let mut blocked: Vec<f32> = random_rows(7, dim, 7).iter().map(|v| v * 3.0).collect();
-        // Plant a zero row; it must be left untouched.
+        // Plant a zero row; it must come out zero (the zero-fill
+        // contract is the identity on an all-zero row).
         blocked[2 * dim..3 * dim].fill(0.0);
         let mut reference = blocked.clone();
         normalize_rows(&mut blocked, dim);
@@ -303,6 +469,26 @@ mod tests {
             assert_eq!(b.to_bits(), r.to_bits());
         }
         assert!(blocked[2 * dim..3 * dim].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn normalize_rows_zero_fills_denormal_norm_rows() {
+        // A row of tiny-but-nonzero values whose norm is ≤ EPSILON:
+        // the old contract left it untouched (a unit-norm lie); the
+        // fixed contract zero-fills it, and never emits ±∞/NaN.
+        let dim = 8;
+        let mut data = vec![0.0f32; 2 * dim];
+        data[..dim].fill(1.0e-24); // norm ≈ 2.8e-24 ≤ EPSILON
+        data[dim..].fill(0.5); // healthy row for contrast
+        normalize_rows(&mut data, dim);
+        assert!(
+            data[..dim].iter().all(|&v| v == 0.0),
+            "tiny-norm row must be zero-filled, got {:?}",
+            &data[..dim]
+        );
+        assert!(data.iter().all(|v| v.is_finite()));
+        let healthy_norm = dot(&data[dim..], &data[dim..]).sqrt();
+        assert!((healthy_norm - 1.0).abs() < 1e-6);
     }
 
     #[test]

@@ -9,24 +9,38 @@
 //!   kNN graph and consumed by database alignment (§4.2 of the paper).
 //!
 //! The scoring hot path funnels through the [`kernels`] module: a
-//! multi-accumulator unrolled [`dot`] (the single scoring primitive of
-//! the workspace, with a fixed, documented accumulation order), fused
+//! multi-accumulator [`dot`] (the single scoring primitive of the
+//! workspace, with a fixed, documented accumulation order), fused
 //! [`axpy`]/[`scale_add`], a blocked multi-query [`gemv_into`] that
 //! scores a block of rows against a batch of queries in one pass over
-//! memory, and a blocked [`normalize_rows`]. Everything is
-//! deterministic, allocation conscious, auto-vectorizer friendly, and
-//! needs no BLAS dependency; see the [`kernels`] docs for the exact
-//! contracts (accumulation order, determinism, panics).
+//! memory, and a blocked [`normalize_rows`]. Each kernel executes on a
+//! runtime-detected SIMD tier — explicit AVX2 (+F16C) on x86_64, NEON
+//! on aarch64, portable scalar as the bit-exactness reference (see
+//! [`simd`]; override with `SEESAW_SIMD=scalar|avx2|neon|auto`) — and
+//! every tier is bitwise identical, so determinism survives tier
+//! switches and machine moves. The [`half`] module provides exact
+//! bit-level f16↔f32 conversion for the half-precision row-storage
+//! tier scored by [`dot_f16`]/[`gemv_f16_into`]. Everything is
+//! deterministic, allocation conscious, and needs no BLAS dependency;
+//! see the [`kernels`] docs for the exact contracts (accumulation
+//! order, tier equivalence, determinism, panics).
 
 pub mod dense;
+pub mod half;
 pub mod kernels;
 #[cfg(test)]
 mod proptests;
+pub mod simd;
 pub mod sparse;
 pub mod vector;
 
 pub use dense::DenseMatrix;
-pub use kernels::{axpy, dot, dot_scalar, gemv1_into, gemv_into, normalize_rows, scale_add};
+pub use half::{decode_f16_into, encode_f16, f16_from_f32, f32_from_f16};
+pub use kernels::{
+    axpy, dot, dot_f16, dot_scalar, gemv1_f16_into, gemv1_into, gemv_f16_into, gemv_into,
+    normalize_rows, scale_add,
+};
+pub use simd::{active_tier, available_tiers, detect_tier, force_tier, tier_supported, Tier};
 pub use sparse::{CsrMatrix, Triplet};
 pub use vector::{
     add_scaled, cosine, l2_norm, l2_norm_sq, mean_vector, normalize, normalized,

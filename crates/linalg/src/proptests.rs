@@ -3,11 +3,24 @@
 
 #![cfg(test)]
 
+use crate::half::encode_f16;
+use crate::simd::{available_tiers, Tier};
 use crate::{dense::DenseMatrix, kernels, sparse::CsrMatrix, sparse::Triplet, vector::*};
 use proptest::prelude::*;
 
 fn small_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
     proptest::collection::vec(-10.0f32..10.0, len)
+}
+
+/// Lengths that sweep every remainder class around the 8-wide lane
+/// unroll (`len % 8 ∈ 0..8`), plus the empty and single-element edge
+/// cases and a couple of multi-chunk sizes.
+fn lane_edge_len() -> impl Strategy<Value = usize> {
+    (0usize..27).prop_map(|i| match i {
+        25 => 64,
+        26 => 67,
+        other => other, // 0..=24 covers every `len % 8` class ≥ 3 times
+    })
 }
 
 proptest! {
@@ -183,6 +196,165 @@ proptest! {
         let a_xw = a.matvec(&xw);
         let rhs = dot(&a_xw, &xw);
         prop_assert!((lhs - rhs).abs() < 1e-1 * (1.0 + rhs.abs()), "{lhs} vs {rhs}");
+    }
+
+    // ------------------------------------------------------------------
+    // SIMD tier equivalence: every tier the host CPU supports must be
+    // *bitwise* identical to the scalar reference, for every kernel,
+    // across every remainder class of the 8-wide lane unroll (empty
+    // slices and single elements included). These are the tests that
+    // let the AVX2/NEON backends claim the scalar path's determinism
+    // guarantees. They use the `_with` kernel variants so every tier is
+    // exercised in one process regardless of `SEESAW_SIMD` (CI
+    // additionally runs the whole suite under `SEESAW_SIMD=scalar`).
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn every_tier_dot_is_bitwise_equal_to_scalar(
+        len in lane_edge_len(),
+        seed in 0u64..u64::MAX,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a: Vec<f32> = (0..len).map(|_| rng.gen_range(-10.0f32..10.0)).collect();
+        let b: Vec<f32> = (0..len).map(|_| rng.gen_range(-10.0f32..10.0)).collect();
+        let reference = kernels::dot_with(Tier::Scalar, &a, &b);
+        for tier in available_tiers() {
+            let got = kernels::dot_with(tier, &a, &b);
+            prop_assert_eq!(
+                got.to_bits(), reference.to_bits(),
+                "dot len {} tier {}: {} vs {}", len, tier.name(), got, reference
+            );
+        }
+        // The active tier (whatever SEESAW_SIMD / detection chose)
+        // agrees with the reference too.
+        prop_assert_eq!(dot(&a, &b).to_bits(), reference.to_bits());
+    }
+
+    #[test]
+    fn every_tier_dot_f16_is_bitwise_equal_to_scalar(
+        len in lane_edge_len(),
+        seed in 0u64..u64::MAX,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a: Vec<f32> = (0..len).map(|_| rng.gen_range(-10.0f32..10.0)).collect();
+        let b: Vec<f32> = (0..len).map(|_| rng.gen_range(-10.0f32..10.0)).collect();
+        let enc = encode_f16(&a);
+        let reference = kernels::dot_f16_with(Tier::Scalar, &enc, &b);
+        for tier in available_tiers() {
+            let got = kernels::dot_f16_with(tier, &enc, &b);
+            prop_assert_eq!(
+                got.to_bits(), reference.to_bits(),
+                "dot_f16 len {} tier {}", len, tier.name()
+            );
+        }
+        prop_assert_eq!(kernels::dot_f16(&enc, &b).to_bits(), reference.to_bits());
+    }
+
+    #[test]
+    fn every_tier_gemv_is_bitwise_equal_to_scalar(
+        dim in lane_edge_len().prop_map(|l| l.max(1)),
+        n in 0usize..23, // sweeps the SIMD row-group remainders too
+        seed in 0u64..u64::MAX,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let rows: Vec<f32> = (0..n * dim).map(|_| rng.gen_range(-5.0f32..5.0)).collect();
+        let q1: Vec<f32> = (0..dim).map(|_| rng.gen_range(-5.0f32..5.0)).collect();
+        let q2: Vec<f32> = (0..dim).map(|_| rng.gen_range(-5.0f32..5.0)).collect();
+        let queries: Vec<&[f32]> = vec![&q1, &q2];
+
+        let mut ref_single = vec![0.0f32; n];
+        kernels::gemv1_into_with(Tier::Scalar, &rows, dim, &q1, &mut ref_single);
+        let mut ref_multi = vec![0.0f32; 2 * n];
+        kernels::gemv_into_with(Tier::Scalar, &rows, dim, &queries, &mut ref_multi);
+
+        for tier in available_tiers() {
+            let mut single = vec![0.0f32; n];
+            kernels::gemv1_into_with(tier, &rows, dim, &q1, &mut single);
+            let mut multi = vec![0.0f32; 2 * n];
+            kernels::gemv_into_with(tier, &rows, dim, &queries, &mut multi);
+            for r in 0..n {
+                prop_assert_eq!(
+                    single[r].to_bits(), ref_single[r].to_bits(),
+                    "gemv1 dim {} n {} row {} tier {}", dim, n, r, tier.name()
+                );
+            }
+            for i in 0..2 * n {
+                prop_assert_eq!(
+                    multi[i].to_bits(), ref_multi[i].to_bits(),
+                    "gemv dim {} n {} slot {} tier {}", dim, n, i, tier.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_tier_gemv_f16_is_bitwise_equal_to_scalar(
+        dim in lane_edge_len().prop_map(|l| l.max(1)),
+        n in 0usize..23,
+        seed in 0u64..u64::MAX,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let raw: Vec<f32> = (0..n * dim).map(|_| rng.gen_range(-5.0f32..5.0)).collect();
+        let rows = encode_f16(&raw);
+        let q1: Vec<f32> = (0..dim).map(|_| rng.gen_range(-5.0f32..5.0)).collect();
+        let q2: Vec<f32> = (0..dim).map(|_| rng.gen_range(-5.0f32..5.0)).collect();
+        let queries: Vec<&[f32]> = vec![&q1, &q2];
+
+        let mut ref_single = vec![0.0f32; n];
+        kernels::gemv1_f16_into_with(Tier::Scalar, &rows, dim, &q1, &mut ref_single);
+        let mut ref_multi = vec![0.0f32; 2 * n];
+        kernels::gemv_f16_into_with(Tier::Scalar, &rows, dim, &queries, &mut ref_multi);
+
+        for tier in available_tiers() {
+            let mut single = vec![0.0f32; n];
+            kernels::gemv1_f16_into_with(tier, &rows, dim, &q1, &mut single);
+            let mut multi = vec![0.0f32; 2 * n];
+            kernels::gemv_f16_into_with(tier, &rows, dim, &queries, &mut multi);
+            for r in 0..n {
+                prop_assert_eq!(
+                    single[r].to_bits(), ref_single[r].to_bits(),
+                    "gemv1_f16 dim {} n {} row {} tier {}", dim, n, r, tier.name()
+                );
+            }
+            for i in 0..2 * n {
+                prop_assert_eq!(
+                    multi[i].to_bits(), ref_multi[i].to_bits(),
+                    "gemv_f16 dim {} n {} slot {} tier {}", dim, n, i, tier.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_tier_normalize_rows_is_bitwise_equal_to_scalar(
+        dim in lane_edge_len().prop_map(|l| l.max(1)),
+        n in 0usize..9,
+        seed in 0u64..u64::MAX,
+        plant_tiny in 0u32..2,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut data: Vec<f32> = (0..n * dim).map(|_| rng.gen_range(-5.0f32..5.0)).collect();
+        if plant_tiny == 1 && n > 0 {
+            // A denormal-norm row must zero-fill identically everywhere.
+            data[..dim].fill(1.0e-24);
+        }
+        let mut reference = data.clone();
+        kernels::normalize_rows_with(Tier::Scalar, &mut reference, dim);
+        for tier in available_tiers() {
+            let mut got = data.clone();
+            kernels::normalize_rows_with(tier, &mut got, dim);
+            for (g, r) in got.iter().zip(&reference) {
+                prop_assert_eq!(
+                    g.to_bits(), r.to_bits(),
+                    "normalize_rows dim {} n {} tier {}", dim, n, tier.name()
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,192 @@
+//! Explicit AVX2 + F16C backend (x86_64).
+//!
+//! Reproduces the canonical scalar accumulation order with 256-bit
+//! registers: one `__m256` holds the eight lane accumulators, updated
+//! with **separate** `_mm256_mul_ps` / `_mm256_add_ps` (never
+//! `fmadd` — FMA's single rounding would change low-order bits), so
+//! lane `l` sees the exact operation sequence of the scalar reference.
+//! The vector is then spilled to the lane array and reduced by the
+//! shared [`combine`](super::combine) tree, and the remainder runs the
+//! same left-to-right scalar tail. f16 rows are widened in-register by
+//! `VCVTPH2PS` (`_mm256_cvtph_ps`), which is the same exact,
+//! quiet-on-NaN conversion as [`crate::half::f32_from_f16`] — so every
+//! kernel here is bit-identical to its scalar twin.
+//!
+//! The GEMV kernels add the one optimization the fixed accumulation
+//! order still allows: **independent accumulator chains across rows**.
+//! A single dot product's eight-lane accumulator is a serial
+//! add-dependency (≈4-cycle latency per chunk); scoring four rows
+//! against the same query keeps four independent chains in flight and
+//! reuses each loaded query vector four times, which is where the real
+//! speedup over the auto-vectorized scalar path comes from — without
+//! touching any per-score operation order.
+//!
+//! Dispatched only when `is_x86_feature_detected!` confirms both
+//! `avx2` and `f16c` (see [`super::tier_supported`]).
+#![allow(unsafe_code)] // std::arch intrinsics: soundness argued at the dispatch site (simd/mod.rs).
+
+use super::{combine, LANES};
+use crate::half::f32_from_f16;
+use core::arch::x86_64::*;
+
+/// Spill the lane accumulator and apply the canonical reduction.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn reduce(acc: __m256, tail: f32) -> f32 {
+    let mut lanes = [0.0f32; LANES];
+    _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+    combine(lanes, tail)
+}
+
+/// Load 8 f32 lanes from an f16-encoded row (`VCVTPH2PS`; exact).
+#[inline]
+#[target_feature(enable = "avx2", enable = "f16c")]
+unsafe fn load_f16(p: *const u16) -> __m256 {
+    _mm256_cvtph_ps(_mm_loadu_si128(p as *const __m128i))
+}
+
+/// Canonical inner product.
+///
+/// # Safety
+/// Requires AVX2; `a.len() == b.len()` must hold (asserted by the
+/// public wrappers).
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let chunks = a.len() / LANES;
+    let (pa, pb) = (a.as_ptr(), b.as_ptr());
+    let mut acc = _mm256_setzero_ps();
+    for i in 0..chunks {
+        let va = _mm256_loadu_ps(pa.add(i * LANES));
+        let vb = _mm256_loadu_ps(pb.add(i * LANES));
+        acc = _mm256_add_ps(acc, _mm256_mul_ps(va, vb));
+    }
+    let mut tail = 0.0f32;
+    for i in chunks * LANES..a.len() {
+        tail += a[i] * b[i];
+    }
+    reduce(acc, tail)
+}
+
+/// Canonical inner product over f16-encoded `a`.
+///
+/// # Safety
+/// Requires AVX2 + F16C; `a.len() == b.len()` must hold.
+#[target_feature(enable = "avx2", enable = "f16c")]
+pub(crate) unsafe fn dot_f16(a: &[u16], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let chunks = a.len() / LANES;
+    let (pa, pb) = (a.as_ptr(), b.as_ptr());
+    let mut acc = _mm256_setzero_ps();
+    for i in 0..chunks {
+        let va = load_f16(pa.add(i * LANES));
+        let vb = _mm256_loadu_ps(pb.add(i * LANES));
+        acc = _mm256_add_ps(acc, _mm256_mul_ps(va, vb));
+    }
+    let mut tail = 0.0f32;
+    for i in chunks * LANES..a.len() {
+        tail += f32_from_f16(a[i]) * b[i];
+    }
+    reduce(acc, tail)
+}
+
+/// Rows scored per inner-loop group in the GEMV kernels: four
+/// independent accumulator chains hide the FP-add latency and amortize
+/// each query-vector load across four rows.
+const ROW_GROUP: usize = 4;
+
+/// Single-query GEMV: `out[r] = rows[r] · query`, four rows in flight.
+///
+/// # Safety
+/// Requires AVX2; `rows.len() == out.len() * dim` and
+/// `query.len() == dim` must hold.
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn gemv1(rows: &[f32], dim: usize, query: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(rows.len(), out.len() * dim);
+    debug_assert_eq!(query.len(), dim);
+    let n = out.len();
+    let chunks = dim / LANES;
+    let q = query.as_ptr();
+    let mut r = 0;
+    while r + ROW_GROUP <= n {
+        let p0 = rows.as_ptr().add(r * dim);
+        let (p1, p2, p3) = (p0.add(dim), p0.add(2 * dim), p0.add(3 * dim));
+        let mut a0 = _mm256_setzero_ps();
+        let mut a1 = _mm256_setzero_ps();
+        let mut a2 = _mm256_setzero_ps();
+        let mut a3 = _mm256_setzero_ps();
+        for i in 0..chunks {
+            let off = i * LANES;
+            let qv = _mm256_loadu_ps(q.add(off));
+            a0 = _mm256_add_ps(a0, _mm256_mul_ps(_mm256_loadu_ps(p0.add(off)), qv));
+            a1 = _mm256_add_ps(a1, _mm256_mul_ps(_mm256_loadu_ps(p1.add(off)), qv));
+            a2 = _mm256_add_ps(a2, _mm256_mul_ps(_mm256_loadu_ps(p2.add(off)), qv));
+            a3 = _mm256_add_ps(a3, _mm256_mul_ps(_mm256_loadu_ps(p3.add(off)), qv));
+        }
+        let (mut t0, mut t1, mut t2, mut t3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+        for i in chunks * LANES..dim {
+            let qi = *q.add(i);
+            t0 += *p0.add(i) * qi;
+            t1 += *p1.add(i) * qi;
+            t2 += *p2.add(i) * qi;
+            t3 += *p3.add(i) * qi;
+        }
+        out[r] = reduce(a0, t0);
+        out[r + 1] = reduce(a1, t1);
+        out[r + 2] = reduce(a2, t2);
+        out[r + 3] = reduce(a3, t3);
+        r += ROW_GROUP;
+    }
+    while r < n {
+        out[r] = dot(&rows[r * dim..(r + 1) * dim], query);
+        r += 1;
+    }
+}
+
+/// Single-query GEMV over f16 rows, four rows in flight.
+///
+/// # Safety
+/// Requires AVX2 + F16C; `rows.len() == out.len() * dim` and
+/// `query.len() == dim` must hold.
+#[target_feature(enable = "avx2", enable = "f16c")]
+pub(crate) unsafe fn gemv1_f16(rows: &[u16], dim: usize, query: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(rows.len(), out.len() * dim);
+    debug_assert_eq!(query.len(), dim);
+    let n = out.len();
+    let chunks = dim / LANES;
+    let q = query.as_ptr();
+    let mut r = 0;
+    while r + ROW_GROUP <= n {
+        let p0 = rows.as_ptr().add(r * dim);
+        let (p1, p2, p3) = (p0.add(dim), p0.add(2 * dim), p0.add(3 * dim));
+        let mut a0 = _mm256_setzero_ps();
+        let mut a1 = _mm256_setzero_ps();
+        let mut a2 = _mm256_setzero_ps();
+        let mut a3 = _mm256_setzero_ps();
+        for i in 0..chunks {
+            let off = i * LANES;
+            let qv = _mm256_loadu_ps(q.add(off));
+            a0 = _mm256_add_ps(a0, _mm256_mul_ps(load_f16(p0.add(off)), qv));
+            a1 = _mm256_add_ps(a1, _mm256_mul_ps(load_f16(p1.add(off)), qv));
+            a2 = _mm256_add_ps(a2, _mm256_mul_ps(load_f16(p2.add(off)), qv));
+            a3 = _mm256_add_ps(a3, _mm256_mul_ps(load_f16(p3.add(off)), qv));
+        }
+        let (mut t0, mut t1, mut t2, mut t3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+        for i in chunks * LANES..dim {
+            let qi = *q.add(i);
+            t0 += f32_from_f16(*p0.add(i)) * qi;
+            t1 += f32_from_f16(*p1.add(i)) * qi;
+            t2 += f32_from_f16(*p2.add(i)) * qi;
+            t3 += f32_from_f16(*p3.add(i)) * qi;
+        }
+        out[r] = reduce(a0, t0);
+        out[r + 1] = reduce(a1, t1);
+        out[r + 2] = reduce(a2, t2);
+        out[r + 3] = reduce(a3, t3);
+        r += ROW_GROUP;
+    }
+    while r < n {
+        out[r] = dot_f16(&rows[r * dim..(r + 1) * dim], query);
+        r += 1;
+    }
+}

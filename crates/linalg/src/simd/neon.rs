@@ -1,0 +1,202 @@
+//! Explicit NEON backend (aarch64, where NEON is baseline).
+//!
+//! The canonical eight lane accumulators map onto two `float32x4_t`
+//! registers (lanes 0–3 and 4–7), updated with separate `vmulq_f32` /
+//! `vaddq_f32` (never `vfmaq` — FMA's single rounding would change
+//! low-order bits), so each lane replays the scalar reference's exact
+//! operation sequence. Both registers spill into the lane array and
+//! reduce through the shared [`combine`](super::combine) tree, with
+//! the same left-to-right scalar tail.
+//!
+//! f16 rows are widened by the software converter
+//! ([`crate::half::f32_from_f16`] — exact, so there is nothing to
+//! round) into a stack buffer that the vector loop then consumes: the
+//! stable `std::arch` surface does not expose the `float16x4_t`
+//! conversion intrinsics, and exactness makes the software path
+//! bit-identical to hardware widening anyway.
+//!
+//! Like the AVX2 backend, the GEMV kernels run independent
+//! accumulator chains across row pairs to hide FP-add latency and
+//! reuse each loaded query vector, which changes no per-score
+//! operation order.
+#![allow(unsafe_code)] // std::arch intrinsics: soundness argued at the dispatch site (simd/mod.rs).
+
+use super::{combine, LANES};
+use crate::half::f32_from_f16;
+use core::arch::aarch64::*;
+
+/// Spill a lane-accumulator pair and apply the canonical reduction.
+#[inline]
+#[target_feature(enable = "neon")]
+unsafe fn reduce(lo: float32x4_t, hi: float32x4_t, tail: f32) -> f32 {
+    let mut lanes = [0.0f32; LANES];
+    vst1q_f32(lanes.as_mut_ptr(), lo);
+    vst1q_f32(lanes.as_mut_ptr().add(4), hi);
+    combine(lanes, tail)
+}
+
+/// Widen one 8-lane chunk of f16 bit patterns into a stack buffer.
+#[inline]
+fn widen_chunk(p: &[u16]) -> [f32; LANES] {
+    let mut buf = [0.0f32; LANES];
+    for (d, &s) in buf.iter_mut().zip(p) {
+        *d = f32_from_f16(s);
+    }
+    buf
+}
+
+/// Canonical inner product.
+///
+/// # Safety
+/// Requires NEON (baseline on aarch64); `a.len() == b.len()` must hold
+/// (asserted by the public wrappers).
+#[target_feature(enable = "neon")]
+pub(crate) unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let chunks = a.len() / LANES;
+    let (pa, pb) = (a.as_ptr(), b.as_ptr());
+    let mut lo = vdupq_n_f32(0.0);
+    let mut hi = vdupq_n_f32(0.0);
+    for i in 0..chunks {
+        let off = i * LANES;
+        lo = vaddq_f32(
+            lo,
+            vmulq_f32(vld1q_f32(pa.add(off)), vld1q_f32(pb.add(off))),
+        );
+        hi = vaddq_f32(
+            hi,
+            vmulq_f32(vld1q_f32(pa.add(off + 4)), vld1q_f32(pb.add(off + 4))),
+        );
+    }
+    let mut tail = 0.0f32;
+    for i in chunks * LANES..a.len() {
+        tail += a[i] * b[i];
+    }
+    reduce(lo, hi, tail)
+}
+
+/// Canonical inner product over f16-encoded `a`.
+///
+/// # Safety
+/// Requires NEON; `a.len() == b.len()` must hold.
+#[target_feature(enable = "neon")]
+pub(crate) unsafe fn dot_f16(a: &[u16], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let chunks = a.len() / LANES;
+    let pb = b.as_ptr();
+    let mut lo = vdupq_n_f32(0.0);
+    let mut hi = vdupq_n_f32(0.0);
+    for i in 0..chunks {
+        let off = i * LANES;
+        let wide = widen_chunk(&a[off..off + LANES]);
+        lo = vaddq_f32(
+            lo,
+            vmulq_f32(vld1q_f32(wide.as_ptr()), vld1q_f32(pb.add(off))),
+        );
+        hi = vaddq_f32(
+            hi,
+            vmulq_f32(vld1q_f32(wide.as_ptr().add(4)), vld1q_f32(pb.add(off + 4))),
+        );
+    }
+    let mut tail = 0.0f32;
+    for i in chunks * LANES..a.len() {
+        tail += f32_from_f16(a[i]) * b[i];
+    }
+    reduce(lo, hi, tail)
+}
+
+/// Rows scored per inner-loop group: two rows × two accumulators each
+/// keeps four independent add chains in flight.
+const ROW_GROUP: usize = 2;
+
+/// Single-query GEMV: `out[r] = rows[r] · query`, two rows in flight.
+///
+/// # Safety
+/// Requires NEON; `rows.len() == out.len() * dim` and
+/// `query.len() == dim` must hold.
+#[target_feature(enable = "neon")]
+pub(crate) unsafe fn gemv1(rows: &[f32], dim: usize, query: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(rows.len(), out.len() * dim);
+    debug_assert_eq!(query.len(), dim);
+    let n = out.len();
+    let chunks = dim / LANES;
+    let q = query.as_ptr();
+    let mut r = 0;
+    while r + ROW_GROUP <= n {
+        let p0 = rows.as_ptr().add(r * dim);
+        let p1 = p0.add(dim);
+        let mut lo0 = vdupq_n_f32(0.0);
+        let mut hi0 = vdupq_n_f32(0.0);
+        let mut lo1 = vdupq_n_f32(0.0);
+        let mut hi1 = vdupq_n_f32(0.0);
+        for i in 0..chunks {
+            let off = i * LANES;
+            let qlo = vld1q_f32(q.add(off));
+            let qhi = vld1q_f32(q.add(off + 4));
+            lo0 = vaddq_f32(lo0, vmulq_f32(vld1q_f32(p0.add(off)), qlo));
+            hi0 = vaddq_f32(hi0, vmulq_f32(vld1q_f32(p0.add(off + 4)), qhi));
+            lo1 = vaddq_f32(lo1, vmulq_f32(vld1q_f32(p1.add(off)), qlo));
+            hi1 = vaddq_f32(hi1, vmulq_f32(vld1q_f32(p1.add(off + 4)), qhi));
+        }
+        let (mut t0, mut t1) = (0.0f32, 0.0f32);
+        for i in chunks * LANES..dim {
+            let qi = *q.add(i);
+            t0 += *p0.add(i) * qi;
+            t1 += *p1.add(i) * qi;
+        }
+        out[r] = reduce(lo0, hi0, t0);
+        out[r + 1] = reduce(lo1, hi1, t1);
+        r += ROW_GROUP;
+    }
+    while r < n {
+        out[r] = dot(&rows[r * dim..(r + 1) * dim], query);
+        r += 1;
+    }
+}
+
+/// Single-query GEMV over f16 rows, two rows in flight.
+///
+/// # Safety
+/// Requires NEON; `rows.len() == out.len() * dim` and
+/// `query.len() == dim` must hold.
+#[target_feature(enable = "neon")]
+pub(crate) unsafe fn gemv1_f16(rows: &[u16], dim: usize, query: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(rows.len(), out.len() * dim);
+    debug_assert_eq!(query.len(), dim);
+    let n = out.len();
+    let chunks = dim / LANES;
+    let q = query.as_ptr();
+    let mut r = 0;
+    while r + ROW_GROUP <= n {
+        let row0 = &rows[r * dim..(r + 1) * dim];
+        let row1 = &rows[(r + 1) * dim..(r + 2) * dim];
+        let mut lo0 = vdupq_n_f32(0.0);
+        let mut hi0 = vdupq_n_f32(0.0);
+        let mut lo1 = vdupq_n_f32(0.0);
+        let mut hi1 = vdupq_n_f32(0.0);
+        for i in 0..chunks {
+            let off = i * LANES;
+            let qlo = vld1q_f32(q.add(off));
+            let qhi = vld1q_f32(q.add(off + 4));
+            let w0 = widen_chunk(&row0[off..off + LANES]);
+            let w1 = widen_chunk(&row1[off..off + LANES]);
+            lo0 = vaddq_f32(lo0, vmulq_f32(vld1q_f32(w0.as_ptr()), qlo));
+            hi0 = vaddq_f32(hi0, vmulq_f32(vld1q_f32(w0.as_ptr().add(4)), qhi));
+            lo1 = vaddq_f32(lo1, vmulq_f32(vld1q_f32(w1.as_ptr()), qlo));
+            hi1 = vaddq_f32(hi1, vmulq_f32(vld1q_f32(w1.as_ptr().add(4)), qhi));
+        }
+        let (mut t0, mut t1) = (0.0f32, 0.0f32);
+        for i in chunks * LANES..dim {
+            let qi = *q.add(i);
+            t0 += f32_from_f16(row0[i]) * qi;
+            t1 += f32_from_f16(row1[i]) * qi;
+        }
+        out[r] = reduce(lo0, hi0, t0);
+        out[r + 1] = reduce(lo1, hi1, t1);
+        r += ROW_GROUP;
+    }
+    while r < n {
+        out[r] = dot_f16(&rows[r * dim..(r + 1) * dim], query);
+        r += 1;
+    }
+}

@@ -1,0 +1,73 @@
+//! Portable lane-unrolled scalar backend — the bit-exactness
+//! reference.
+//!
+//! This is the canonical definition of every kernel's arithmetic:
+//! eight `f32` lane accumulators filled in chunk order
+//! (`acc[l] += a[8i + l] * b[8i + l]`, separate multiply and add
+//! roundings), the fixed [`combine`](super::combine) reduction tree,
+//! and a strictly left-to-right scalar tail. The AVX2 and NEON
+//! backends replay this exact operation sequence with vector
+//! registers; the per-tier proptests pin them to this code bit for
+//! bit. The lane loop is written so the auto-vectorizer can lift it to
+//! SIMD even here, which is what made this the fast path before the
+//! explicit backends existed.
+
+use super::{combine, LANES};
+use crate::half::f32_from_f16;
+
+/// Canonical inner product (see module docs for the exact order).
+pub(crate) fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; LANES];
+    let mut ca = a.chunks_exact(LANES);
+    let mut cb = b.chunks_exact(LANES);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        for l in 0..LANES {
+            acc[l] += xa[l] * xb[l];
+        }
+    }
+    let mut tail = 0.0f32;
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        tail += x * y;
+    }
+    combine(acc, tail)
+}
+
+/// Canonical inner product over an f16-encoded left operand: each
+/// stored half is widened (exactly — see [`crate::half`]) to `f32`
+/// before the multiply, and accumulation is pure `f32`, in the same
+/// order as [`dot`]. Contract: bit-identical to decoding the row and
+/// calling [`dot`].
+pub(crate) fn dot_f16(a: &[u16], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; LANES];
+    let mut ca = a.chunks_exact(LANES);
+    let mut cb = b.chunks_exact(LANES);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        for l in 0..LANES {
+            acc[l] += f32_from_f16(xa[l]) * xb[l];
+        }
+    }
+    let mut tail = 0.0f32;
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        tail += f32_from_f16(*x) * y;
+    }
+    combine(acc, tail)
+}
+
+/// Single-query GEMV: `out[r] = rows[r] · query`, each score by
+/// [`dot`].
+pub(crate) fn gemv1(rows: &[f32], dim: usize, query: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(rows.len(), out.len() * dim);
+    for (o, row) in out.iter_mut().zip(rows.chunks_exact(dim)) {
+        *o = dot(row, query);
+    }
+}
+
+/// Single-query GEMV over f16 rows, each score by [`dot_f16`].
+pub(crate) fn gemv1_f16(rows: &[u16], dim: usize, query: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(rows.len(), out.len() * dim);
+    for (o, row) in out.iter_mut().zip(rows.chunks_exact(dim)) {
+        *o = dot_f16(row, query);
+    }
+}

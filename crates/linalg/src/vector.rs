@@ -47,8 +47,11 @@ pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
     dot(a, b) / (na * nb)
 }
 
-/// Normalize `a` in place to unit length. Vectors with norm below
-/// `f32::EPSILON` are left untouched (there is no meaningful direction).
+/// Normalize `a` in place to unit length. Vectors with norm at or
+/// below `f32::EPSILON` are **zero-filled**: there is no meaningful
+/// direction, and scaling by the reciprocal of a denormal norm would
+/// overflow to ±∞. Identical to what [`crate::kernels::normalize_rows`]
+/// does per row (the two are pinned bit-for-bit by proptest).
 #[inline]
 pub fn normalize(a: &mut [f32]) {
     let n = l2_norm(a);
@@ -57,6 +60,8 @@ pub fn normalize(a: &mut [f32]) {
         for x in a.iter_mut() {
             *x *= inv;
         }
+    } else {
+        a.fill(0.0);
     }
 }
 
@@ -174,6 +179,16 @@ mod tests {
     #[test]
     fn normalize_leaves_zero_vector_alone() {
         let mut v = vec![0.0, 0.0, 0.0];
+        normalize(&mut v);
+        assert_eq!(v, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn normalize_zero_fills_denormal_norm_vectors() {
+        // Norm ≈ 1.7e-24 ≤ EPSILON: the old contract left the vector
+        // untouched (callers then treated it as unit-norm); the fixed
+        // contract zero-fills instead of emitting ±∞ via 1/norm.
+        let mut v = vec![1.0e-24f32, -1.0e-24, 1.0e-24];
         normalize(&mut v);
         assert_eq!(v, vec![0.0, 0.0, 0.0]);
     }

@@ -5,18 +5,22 @@
 //! concrete store type.
 
 use crate::{
-    ExactStore, Hit, IvfConfig, IvfStore, KeepFn, RpForest, RpForestConfig, ShardedStore,
-    VectorStore,
+    ExactStore, Hit, IvfConfig, IvfStore, KeepFn, RowPrecision, RpForest, RpForestConfig,
+    ShardedStore, VectorStore,
 };
 
 /// Which vector-store backend to build, each optionally sharded
-/// (`shards ≤ 1` means unsharded).
+/// (`shards ≤ 1` means unsharded). The dense-row backends (exact and
+/// IVF) additionally carry a [`RowPrecision`] selecting the row
+/// storage tier; the RP forest keeps its own f32 layout.
 #[derive(Clone, Debug)]
 pub enum StoreConfig {
     /// Brute-force scan — the accuracy reference.
     Exact {
         /// Shard count; `0` or `1` builds the plain store.
         shards: usize,
+        /// Row storage precision (`f32` default, `f16` half-width).
+        precision: RowPrecision,
     },
     /// Annoy-style random-projection forest (the paper's store).
     RpForest {
@@ -31,6 +35,8 @@ pub enum StoreConfig {
         config: IvfConfig,
         /// Shard count; `0` or `1` builds the plain store.
         shards: usize,
+        /// Row storage precision (`f32` default, `f16` half-width).
+        precision: RowPrecision,
     },
 }
 
@@ -42,9 +48,12 @@ impl Default for StoreConfig {
 }
 
 impl StoreConfig {
-    /// Unsharded exact scan.
+    /// Unsharded exact scan with `f32` rows.
     pub fn exact() -> Self {
-        Self::Exact { shards: 0 }
+        Self::Exact {
+            shards: 0,
+            precision: RowPrecision::F32,
+        }
     }
 
     /// Unsharded RP forest.
@@ -52,17 +61,31 @@ impl StoreConfig {
         Self::RpForest { config, shards: 0 }
     }
 
-    /// Unsharded IVF.
+    /// Unsharded IVF with `f32` rows.
     pub fn ivf(config: IvfConfig) -> Self {
-        Self::Ivf { config, shards: 0 }
+        Self::Ivf {
+            config,
+            shards: 0,
+            precision: RowPrecision::F32,
+        }
     }
 
     /// Set the shard count (builder style).
     pub fn with_shards(mut self, n: usize) -> Self {
         match &mut self {
-            Self::Exact { shards } | Self::RpForest { shards, .. } | Self::Ivf { shards, .. } => {
-                *shards = n
-            }
+            Self::Exact { shards, .. }
+            | Self::RpForest { shards, .. }
+            | Self::Ivf { shards, .. } => *shards = n,
+        }
+        self
+    }
+
+    /// Set the row-storage precision (builder style). A no-op on the
+    /// RP forest, which keeps its own f32 layout.
+    pub fn with_precision(mut self, p: RowPrecision) -> Self {
+        match &mut self {
+            Self::Exact { precision, .. } | Self::Ivf { precision, .. } => *precision = p,
+            Self::RpForest { .. } => {}
         }
         self
     }
@@ -70,9 +93,18 @@ impl StoreConfig {
     /// Shard count (`0` normalizes to `1`).
     pub fn shards(&self) -> usize {
         match self {
-            Self::Exact { shards } | Self::RpForest { shards, .. } | Self::Ivf { shards, .. } => {
-                (*shards).max(1)
-            }
+            Self::Exact { shards, .. }
+            | Self::RpForest { shards, .. }
+            | Self::Ivf { shards, .. } => (*shards).max(1),
+        }
+    }
+
+    /// Row-storage precision (the RP forest always reports
+    /// [`RowPrecision::F32`]).
+    pub fn precision(&self) -> RowPrecision {
+        match self {
+            Self::Exact { precision, .. } | Self::Ivf { precision, .. } => *precision,
+            Self::RpForest { .. } => RowPrecision::F32,
         }
     }
 
@@ -116,11 +148,13 @@ impl StoreConfig {
     pub fn build(&self, dim: usize, data: Vec<f32>) -> AnyStore {
         let shards = self.shards();
         match self {
-            Self::Exact { .. } => {
+            Self::Exact { precision, .. } => {
                 if shards <= 1 {
-                    AnyStore::Exact(ExactStore::new(dim, data))
+                    AnyStore::Exact(ExactStore::with_precision(dim, data, *precision))
                 } else {
-                    AnyStore::ShardedExact(ShardedStore::build(dim, data, shards, ExactStore::new))
+                    AnyStore::ShardedExact(ShardedStore::build(dim, data, shards, |d, buf| {
+                        ExactStore::with_precision(d, buf, *precision)
+                    }))
                 }
             }
             Self::RpForest { config, .. } => {
@@ -132,12 +166,19 @@ impl StoreConfig {
                     }))
                 }
             }
-            Self::Ivf { config, .. } => {
+            Self::Ivf {
+                config, precision, ..
+            } => {
                 if shards <= 1 {
-                    AnyStore::Ivf(IvfStore::build(dim, data, config.clone()))
+                    AnyStore::Ivf(IvfStore::build_with_precision(
+                        dim,
+                        data,
+                        config.clone(),
+                        *precision,
+                    ))
                 } else {
                     AnyStore::ShardedIvf(ShardedStore::build(dim, data, shards, |d, buf| {
-                        IvfStore::build(d, buf, config.clone())
+                        IvfStore::build_with_precision(d, buf, config.clone(), *precision)
                     }))
                 }
             }
@@ -258,6 +299,40 @@ mod tests {
     fn one_shard_builds_the_plain_store() {
         let store = StoreConfig::exact().with_shards(1).build(4, vec![1.0; 8]);
         assert!(matches!(store, AnyStore::Exact(_)));
+    }
+
+    #[test]
+    fn precision_plumbs_through_to_the_built_store() {
+        let dim = 6;
+        let data = random_data(40, dim, 9);
+        assert_eq!(StoreConfig::exact().precision(), RowPrecision::F32);
+        // Forest ignores precision (keeps its own f32 layout).
+        assert_eq!(
+            StoreConfig::default()
+                .with_precision(RowPrecision::F16)
+                .precision(),
+            RowPrecision::F32
+        );
+        let cfg = StoreConfig::exact().with_precision(RowPrecision::F16);
+        assert_eq!(cfg.precision(), RowPrecision::F16);
+        let AnyStore::Exact(s) = cfg.build(dim, data.clone()) else {
+            panic!("variant changed");
+        };
+        assert_eq!(s.precision(), RowPrecision::F16);
+        let ivf_cfg = StoreConfig::ivf(IvfConfig::default()).with_precision(RowPrecision::F16);
+        let AnyStore::Ivf(s) = ivf_cfg.build(dim, data.clone()) else {
+            panic!("variant changed");
+        };
+        assert_eq!(s.precision(), RowPrecision::F16);
+        // Sharded builds hand the precision to every shard, and the
+        // f16 scan still finds the self-match on unit vectors.
+        let sharded = StoreConfig::exact()
+            .with_precision(RowPrecision::F16)
+            .with_shards(3)
+            .build(dim, data.clone());
+        assert!(matches!(sharded, AnyStore::ShardedExact(_)));
+        let hits = sharded.top_k(&data[..dim], 1);
+        assert_eq!(hits[0].id, 0);
     }
 
     #[test]

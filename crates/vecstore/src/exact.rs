@@ -5,42 +5,88 @@
 //! accuracy metrics in our benchmarks using Annoy vs an exact but slow
 //! scan" (§2.2); our integration tests quantify the same comparison.
 
-use crate::{Hit, KeepFn, TopKSelector, VectorStore};
-use seesaw_linalg::{gemv1_into, gemv_into};
+use crate::{Hit, KeepFn, RowPrecision, RowStorage, TopKSelector, VectorStore};
 
 /// Rows scored per block. The kernel re-blocks internally for cache
 /// residency; this only bounds the per-call score scratch.
 const SCAN_BLOCK: usize = 64;
 
 /// A dense, row-major collection of vectors scanned exhaustively.
+///
+/// Rows live in a [`RowStorage`] buffer: plain `f32` by default, or
+/// the half-precision tier ([`RowPrecision::F16`], via
+/// [`ExactStore::with_precision`]) which halves scan bandwidth while
+/// keeping f32 accumulation — see the `storage` module docs for the
+/// precision semantics.
 #[derive(Clone, Debug)]
 pub struct ExactStore {
     dim: usize,
-    data: Vec<f32>,
+    rows: RowStorage,
 }
 
 impl ExactStore {
-    /// Build from a row-major buffer.
+    /// Build from a row-major buffer with `f32` row storage.
     ///
     /// # Panics
     /// Panics when the buffer is not a multiple of `dim`.
     pub fn new(dim: usize, data: Vec<f32>) -> Self {
+        Self::with_precision(dim, data, RowPrecision::F32)
+    }
+
+    /// Build from a row-major `f32` buffer, storing rows at the
+    /// requested precision (encoding rounds once, at build time).
+    ///
+    /// # Panics
+    /// Panics when the buffer is not a multiple of `dim`.
+    pub fn with_precision(dim: usize, data: Vec<f32>, precision: RowPrecision) -> Self {
         assert!(dim > 0, "dimension must be positive");
         assert_eq!(data.len() % dim, 0, "buffer is not a multiple of dim");
-        Self { dim, data }
+        Self {
+            dim,
+            rows: RowStorage::encode(precision, data),
+        }
     }
 
-    /// Borrow vector `id`.
+    /// The row-storage precision.
+    pub fn precision(&self) -> RowPrecision {
+        self.rows.precision()
+    }
+
+    /// Borrow vector `id`. Only available with `f32` row storage; use
+    /// [`ExactStore::row_into`] to read rows independent of precision.
+    ///
+    /// # Panics
+    /// Panics when the store uses f16 row storage.
     #[inline]
     pub fn vector(&self, id: u32) -> &[f32] {
+        let data = self
+            .rows
+            .as_f32()
+            .expect("ExactStore::vector requires f32 row storage; use row_into");
         let i = id as usize * self.dim;
-        &self.data[i..i + self.dim]
+        &data[i..i + self.dim]
     }
 
-    /// Iterate over all `(id, vector)` pairs.
+    /// Decode vector `id` into `out` (works at every precision; exact
+    /// — f16 widening never rounds).
+    ///
+    /// # Panics
+    /// Panics when `out.len() != dim` or the row is out of bounds.
+    pub fn row_into(&self, id: u32, out: &mut [f32]) {
+        self.rows.row_into(self.dim, id, out);
+    }
+
+    /// Iterate over all `(id, vector)` pairs. Only available with
+    /// `f32` row storage (see [`ExactStore::vector`]).
+    ///
+    /// # Panics
+    /// Panics when the store uses f16 row storage.
     pub fn iter(&self) -> impl Iterator<Item = (u32, &[f32])> {
-        self.data
-            .chunks_exact(self.dim)
+        let data = self
+            .rows
+            .as_f32()
+            .expect("ExactStore::iter requires f32 row storage; use row_into");
+        data.chunks_exact(self.dim)
             .enumerate()
             .map(|(i, v)| (i as u32, v))
     }
@@ -48,7 +94,7 @@ impl ExactStore {
 
 impl VectorStore for ExactStore {
     fn len(&self) -> usize {
-        self.data.len() / self.dim
+        self.rows.len() / self.dim
     }
 
     fn dim(&self) -> usize {
@@ -65,12 +111,15 @@ impl VectorStore for ExactStore {
         // score block. For the k ≪ N regime of interactive search this
         // beats both sorting the whole score vector and the historical
         // per-candidate sorted insert.
+        let n = self.len();
         let mut sel = TopKSelector::new(k);
         let mut scores = [0.0f32; SCAN_BLOCK];
         let mut id = 0u32;
-        for block in self.data.chunks(SCAN_BLOCK * self.dim) {
-            let rows = block.len() / self.dim;
-            gemv1_into(block, self.dim, query, &mut scores[..rows]);
+        for start in (0..n).step_by(SCAN_BLOCK) {
+            let end = (start + SCAN_BLOCK).min(n);
+            let rows = end - start;
+            self.rows
+                .gemv1_range(self.dim, start..end, query, &mut scores[..rows]);
             for &score in &scores[..rows] {
                 if keep(id) {
                     sel.insert(id, score);
@@ -102,16 +151,19 @@ impl VectorStore for ExactStore {
         // One pass over the data: each row block is scored against all
         // queries while cache resident, and `keep` runs once per row
         // for the whole batch.
+        let n = self.len();
         let mut sels: Vec<TopKSelector> = (0..nq).map(|_| TopKSelector::new(k)).collect();
         let mut scores = vec![0.0f32; nq * SCAN_BLOCK];
         let mut kept = [false; SCAN_BLOCK];
         let mut base = 0u32;
-        for block in self.data.chunks(SCAN_BLOCK * self.dim) {
-            let rows = block.len() / self.dim;
+        for start in (0..n).step_by(SCAN_BLOCK) {
+            let end = (start + SCAN_BLOCK).min(n);
+            let rows = end - start;
             for (j, flag) in kept[..rows].iter_mut().enumerate() {
                 *flag = keep(base + j as u32);
             }
-            gemv_into(block, self.dim, queries, &mut scores[..nq * rows]);
+            self.rows
+                .gemv_range(self.dim, start..end, queries, &mut scores[..nq * rows]);
             for (qi, sel) in sels.iter_mut().enumerate() {
                 let row_scores = &scores[qi * rows..(qi + 1) * rows];
                 for (j, &score) in row_scores.iter().enumerate() {

@@ -18,9 +18,9 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use seesaw_linalg::{add_scaled, dot, gemv_into, normalize_rows, scale};
+use seesaw_linalg::{add_scaled, dot, normalize_rows, scale};
 
-use crate::{Hit, KeepFn, TopKSelector, VectorStore};
+use crate::{Hit, KeepFn, RowPrecision, RowStorage, TopKSelector, VectorStore};
 
 /// Build-time configuration for [`IvfStore`].
 #[derive(Clone, Debug)]
@@ -48,10 +48,15 @@ impl Default for IvfConfig {
 }
 
 /// The inverted-file MIPS index.
+///
+/// Rows live in a [`RowStorage`] buffer (`f32` by default, or the
+/// half-precision tier via [`IvfStore::build_with_precision`]); the
+/// centroids always stay `f32` — they are tiny, and probe ranking
+/// quality is what recall hinges on.
 #[derive(Clone, Debug)]
 pub struct IvfStore {
     dim: usize,
-    data: Vec<f32>,
+    rows: RowStorage,
     /// `n_lists × dim`, row-major.
     centroids: Vec<f32>,
     /// Row ids bucketed by centroid, ascending within each list.
@@ -60,11 +65,28 @@ pub struct IvfStore {
 }
 
 impl IvfStore {
-    /// Build over a row-major buffer.
+    /// Build over a row-major buffer with `f32` row storage.
     ///
     /// # Panics
     /// Panics when the buffer is not a multiple of `dim`.
     pub fn build(dim: usize, data: Vec<f32>, config: IvfConfig) -> Self {
+        Self::build_with_precision(dim, data, config, RowPrecision::F32)
+    }
+
+    /// Build over a row-major `f32` buffer, storing the gathered-scan
+    /// rows at the requested precision. The k-means quantizer always
+    /// trains on the full-precision data (and keeps f32 centroids), so
+    /// list assignment is identical at every precision; only the
+    /// scored rows are rounded.
+    ///
+    /// # Panics
+    /// Panics when the buffer is not a multiple of `dim`.
+    pub fn build_with_precision(
+        dim: usize,
+        data: Vec<f32>,
+        config: IvfConfig,
+        precision: RowPrecision,
+    ) -> Self {
         assert!(dim > 0, "dimension must be positive");
         assert_eq!(data.len() % dim, 0, "buffer is not a multiple of dim");
         let n = data.len() / dim;
@@ -158,18 +180,39 @@ impl IvfStore {
 
         Self {
             dim,
-            data,
+            rows: RowStorage::encode(precision, data),
             centroids,
             lists,
             config,
         }
     }
 
-    /// Borrow vector `id`.
+    /// The row-storage precision.
+    pub fn precision(&self) -> RowPrecision {
+        self.rows.precision()
+    }
+
+    /// Borrow vector `id`. Only available with `f32` row storage; use
+    /// [`IvfStore::row_into`] to read rows independent of precision.
+    ///
+    /// # Panics
+    /// Panics when the store uses f16 row storage.
     #[inline]
     pub fn vector(&self, id: u32) -> &[f32] {
+        let data = self
+            .rows
+            .as_f32()
+            .expect("IvfStore::vector requires f32 row storage; use row_into");
         let i = id as usize * self.dim;
-        &self.data[i..i + self.dim]
+        &data[i..i + self.dim]
+    }
+
+    /// Decode vector `id` into `out` (works at every precision).
+    ///
+    /// # Panics
+    /// Panics when `out.len() != dim` or the row is out of bounds.
+    pub fn row_into(&self, id: u32, out: &mut [f32]) {
+        self.rows.row_into(self.dim, id, out);
     }
 
     /// Number of inverted lists.
@@ -235,7 +278,7 @@ impl IvfStore {
         keep: &KeepFn,
     ) -> Vec<Hit> {
         assert_eq!(query.len(), self.dim, "query dimension mismatch");
-        if k == 0 || self.data.is_empty() {
+        if k == 0 || self.rows.is_empty() {
             return Vec::new();
         }
         let need = min_candidates.max(k);
@@ -245,7 +288,7 @@ impl IvfStore {
                 if !keep(id) {
                     continue;
                 }
-                sel.insert(id, dot(query, self.vector(id)));
+                sel.insert(id, self.rows.dot_row(self.dim, id, query));
             }
         }
         sel.into_sorted_hits()
@@ -254,7 +297,7 @@ impl IvfStore {
 
 impl VectorStore for IvfStore {
     fn len(&self) -> usize {
-        self.data.len() / self.dim
+        self.rows.len() / self.dim
     }
 
     fn dim(&self) -> usize {
@@ -280,7 +323,7 @@ impl VectorStore for IvfStore {
             assert_eq!(q.len(), self.dim, "query dimension mismatch");
         }
         let nq = queries.len();
-        if k == 0 || nq == 0 || self.data.is_empty() {
+        if k == 0 || nq == 0 || self.rows.is_empty() {
             return vec![Vec::new(); nq];
         }
         if nq == 1 {
@@ -303,7 +346,10 @@ impl VectorStore for IvfStore {
             }
         }
         let mut sels: Vec<TopKSelector> = (0..nq).map(|_| TopKSelector::new(k)).collect();
-        let mut gathered: Vec<f32> = Vec::new();
+        // The gather scratch matches the store's row precision, so the
+        // batched path never transcodes: f16 lists gather as raw u16
+        // rows and score through the f16 kernel.
+        let mut gathered = self.rows.empty_like();
         let mut kept_ids: Vec<u32> = Vec::new();
         let mut scores: Vec<f32> = Vec::new();
         let mut qrefs: Vec<&[f32]> = Vec::new();
@@ -316,7 +362,7 @@ impl VectorStore for IvfStore {
             for &id in &self.lists[c] {
                 if keep(id) {
                     kept_ids.push(id);
-                    gathered.extend_from_slice(self.vector(id));
+                    gathered.push_row_from(&self.rows, self.dim, id);
                 }
             }
             if kept_ids.is_empty() {
@@ -325,9 +371,9 @@ impl VectorStore for IvfStore {
             qrefs.clear();
             qrefs.extend(qis.iter().map(|&qi| queries[qi as usize]));
             scores.resize(qis.len() * kept_ids.len(), 0.0);
-            gemv_into(
-                &gathered,
+            gathered.gemv_range(
                 self.dim,
+                0..kept_ids.len(),
                 &qrefs,
                 &mut scores[..qis.len() * kept_ids.len()],
             );

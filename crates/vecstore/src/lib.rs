@@ -18,10 +18,18 @@
 //!   ascending id), so sharded-exact search is bit-identical to the
 //!   unsharded scan.
 //!
-//! [`StoreConfig`] names a backend (plus an optional shard count) as
-//! plain data, and [`StoreConfig::build`] materializes it as an
-//! [`AnyStore`]; the engine's preprocessing pipeline selects backends
-//! through it instead of hardcoding one.
+//! [`StoreConfig`] names a backend (plus an optional shard count and,
+//! for the dense-row backends, a [`RowPrecision`]) as plain data, and
+//! [`StoreConfig::build`] materializes it as an [`AnyStore`]; the
+//! engine's preprocessing pipeline selects backends through it instead
+//! of hardcoding one.
+//!
+//! [`ExactStore`] and [`IvfStore`] keep their rows in a [`RowStorage`]
+//! buffer: plain `f32` (default) or IEEE binary16
+//! ([`RowPrecision::F16`]) which halves scan bandwidth, rounds each
+//! row once at build time, and accumulates in f32 — see the `storage`
+//! module docs for the precision semantics and the per-precision
+//! bit-identity guarantees.
 //!
 //! Every backend implements [`VectorStore`], which is object-safe and
 //! `Send + Sync`, and all support filtered queries so the engine can
@@ -70,6 +78,7 @@ pub mod ivf;
 mod proptests;
 pub mod recall;
 pub mod sharded;
+pub mod storage;
 
 use std::collections::BinaryHeap;
 
@@ -79,6 +88,7 @@ pub use exact::ExactStore;
 pub use ivf::{IvfConfig, IvfStore};
 pub use recall::recall_at_k;
 pub use sharded::{merge_hits, ShardedStore};
+pub use storage::{RowPrecision, RowStorage};
 
 /// A scored hit: item id plus its inner product with the query.
 #[derive(Clone, Copy, Debug, PartialEq)]

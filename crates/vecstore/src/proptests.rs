@@ -4,8 +4,8 @@
 #![cfg(test)]
 
 use crate::{
-    merge_hits, ExactStore, Hit, IvfConfig, IvfStore, RpForest, RpForestConfig, ShardedStore,
-    StoreConfig, VectorStore,
+    merge_hits, ExactStore, Hit, IvfConfig, IvfStore, RowPrecision, RpForest, RpForestConfig,
+    ShardedStore, StoreConfig, VectorStore,
 };
 use proptest::prelude::*;
 
@@ -56,7 +56,41 @@ fn all_backends(dim: usize, data: &[f32]) -> Vec<(&'static str, Box<dyn VectorSt
                 IvfStore::build(d, buf, IvfConfig::default())
             })),
         ),
+        (
+            "exact-f16",
+            Box::new(ExactStore::with_precision(
+                dim,
+                data.to_vec(),
+                RowPrecision::F16,
+            )),
+        ),
+        (
+            "ivf-f16",
+            Box::new(IvfStore::build_with_precision(
+                dim,
+                data.to_vec(),
+                IvfConfig::default(),
+                RowPrecision::F16,
+            )),
+        ),
+        (
+            "sharded-exact-f16",
+            Box::new(ShardedStore::build(dim, data.to_vec(), 3, |d, buf| {
+                ExactStore::with_precision(d, buf, RowPrecision::F16)
+            })),
+        ),
     ]
+}
+
+/// Score tolerance against the full-precision inner product: f16 rows
+/// round once at encode time (≤ 2⁻¹¹ relative per element), f32 rows
+/// are exact.
+fn score_tolerance(name: &str) -> f32 {
+    if name.ends_with("f16") {
+        4e-3
+    } else {
+        1e-5
+    }
 }
 
 proptest! {
@@ -90,7 +124,10 @@ proptest! {
             for h in &hits {
                 let v = &data[h.id as usize * dim..(h.id as usize + 1) * dim];
                 let true_score = seesaw_linalg::dot(q, v);
-                prop_assert!((h.score - true_score).abs() < 1e-5, "{}", name);
+                prop_assert!(
+                    (h.score - true_score).abs() < score_tolerance(name),
+                    "{}", name
+                );
             }
             // Self-query must return itself first.
             prop_assert_eq!(hits[0].id, 0, "{}", name);
@@ -172,6 +209,31 @@ proptest! {
                 prop_assert_eq!(t.id, g.id, "{}", label);
                 prop_assert_eq!(t.score.to_bits(), g.score.to_bits(), "{}", label);
             }
+        }
+    }
+
+    /// The shard-invariance guarantee holds per precision: an f16
+    /// sharded store is bit-identical to the f16 unsharded store (the
+    /// per-shard encode rounds element-wise, so it cannot depend on
+    /// the partition).
+    #[test]
+    fn sharded_f16_matches_unsharded_f16_bitwise(
+        n in 5usize..100,
+        seed in 1400u64..1700,
+        n_shards in 2usize..5,
+        k in 1usize..8,
+    ) {
+        let dim = 8;
+        let data = flat_unit_vectors(n, dim, seed);
+        let truth = ExactStore::with_precision(dim, data.clone(), RowPrecision::F16).top_k(&data[..dim], k);
+        let sharded = ShardedStore::build(dim, data.clone(), n_shards, |d, buf| {
+            ExactStore::with_precision(d, buf, RowPrecision::F16)
+        });
+        let got = sharded.top_k(&data[..dim], k);
+        prop_assert_eq!(truth.len(), got.len());
+        for (t, g) in truth.iter().zip(&got) {
+            prop_assert_eq!(t.id, g.id);
+            prop_assert_eq!(t.score.to_bits(), g.score.to_bits());
         }
     }
 

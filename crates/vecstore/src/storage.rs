@@ -1,0 +1,306 @@
+//! Row storage precision tiers: how a store keeps its row-major
+//! vector buffer in memory.
+//!
+//! The dense scan is memory-bandwidth bound, so the biggest remaining
+//! lever after kernel tuning is *moving fewer bytes per row*.
+//! [`RowStorage`] is a small enum over the supported encodings:
+//!
+//! * [`RowPrecision::F32`] — rows as plain `f32` (4 B/element). Scores
+//!   are exact; this is the historical representation and the default.
+//! * [`RowPrecision::F16`] — rows as IEEE binary16 bit patterns
+//!   (2 B/element, see `seesaw_linalg::half`), **halving** scan
+//!   bandwidth. Scoring widens each element exactly to `f32` inside
+//!   the kernel (in-register on AVX2+F16C) and accumulates in `f32`,
+//!   so precision is lost exactly once — at encode time, round to
+//!   nearest — and never during scoring. Scores are the true inner
+//!   products of the *rounded* rows: deterministic, bitwise
+//!   reproducible across SIMD tiers, and within ~2⁻¹¹ relative error
+//!   of the f32 scores for unit-norm embeddings, which the recall
+//!   floors in `tests/store_equivalence.rs` pin end to end.
+//!
+//! Every scoring path funnels through the canonical kernels
+//! (`seesaw_linalg::kernels`), so the cross-backend bit-identity
+//! guarantees (sharded ≡ unsharded, batched ≡ sequential) hold *per
+//! precision*: an f16 sharded store is bit-identical to the f16
+//! unsharded store, just not to the f32 one.
+
+use seesaw_linalg::{
+    dot, dot_f16, encode_f16, f32_from_f16, gemv1_f16_into, gemv1_into, gemv_f16_into, gemv_into,
+};
+use std::ops::Range;
+
+/// Precision of a store's row buffer. Selected via
+/// [`crate::StoreConfig`]; defaults to [`RowPrecision::F32`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum RowPrecision {
+    /// 4 B/element exact storage (the historical representation).
+    #[default]
+    F32,
+    /// 2 B/element IEEE binary16 storage with f32 accumulation.
+    F16,
+}
+
+impl RowPrecision {
+    /// Stable lowercase label (`f32` / `f16`) for tables and configs.
+    pub fn name(self) -> &'static str {
+        match self {
+            RowPrecision::F32 => "f32",
+            RowPrecision::F16 => "f16",
+        }
+    }
+
+    /// Parse a label as produced by [`Self::name`] (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "f32" => Some(RowPrecision::F32),
+            "f16" | "half" => Some(RowPrecision::F16),
+            _ => None,
+        }
+    }
+
+    /// Bytes one element occupies in memory.
+    pub fn bytes_per_element(self) -> usize {
+        match self {
+            RowPrecision::F32 => 4,
+            RowPrecision::F16 => 2,
+        }
+    }
+}
+
+/// A row-major vector buffer in one of the supported precisions, with
+/// the scoring entry points the stores need. All scoring goes through
+/// the canonical kernels, so results are deterministic and bitwise
+/// identical across SIMD tiers.
+#[derive(Clone, Debug)]
+pub enum RowStorage {
+    /// Plain `f32` rows.
+    F32(Vec<f32>),
+    /// IEEE binary16 bit patterns (`seesaw_linalg::half` encoding).
+    F16(Vec<u16>),
+}
+
+impl RowStorage {
+    /// Encode a row-major `f32` buffer at the requested precision.
+    /// `F32` takes ownership without copying; `F16` rounds each element
+    /// to the nearest half (ties to even).
+    pub fn encode(precision: RowPrecision, data: Vec<f32>) -> Self {
+        match precision {
+            RowPrecision::F32 => RowStorage::F32(data),
+            RowPrecision::F16 => RowStorage::F16(encode_f16(&data)),
+        }
+    }
+
+    /// The storage precision.
+    pub fn precision(&self) -> RowPrecision {
+        match self {
+            RowStorage::F32(_) => RowPrecision::F32,
+            RowStorage::F16(_) => RowPrecision::F16,
+        }
+    }
+
+    /// Total element count (rows × dim).
+    pub fn len(&self) -> usize {
+        match self {
+            RowStorage::F32(d) => d.len(),
+            RowStorage::F16(d) => d.len(),
+        }
+    }
+
+    /// Whether the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// An empty buffer of the same precision (gather scratch).
+    pub fn empty_like(&self) -> Self {
+        match self {
+            RowStorage::F32(_) => RowStorage::F32(Vec::new()),
+            RowStorage::F16(_) => RowStorage::F16(Vec::new()),
+        }
+    }
+
+    /// Drop all elements, keeping the allocation.
+    pub fn clear(&mut self) {
+        match self {
+            RowStorage::F32(d) => d.clear(),
+            RowStorage::F16(d) => d.clear(),
+        }
+    }
+
+    /// Append row `id` of `src` (same precision) to this buffer — the
+    /// gather primitive of the IVF batched scan. No transcoding ever
+    /// happens: gathering is a raw copy.
+    ///
+    /// # Panics
+    /// Panics when the precisions differ or the row is out of bounds.
+    pub fn push_row_from(&mut self, src: &RowStorage, dim: usize, id: u32) {
+        let i = id as usize * dim;
+        match (self, src) {
+            (RowStorage::F32(dst), RowStorage::F32(s)) => dst.extend_from_slice(&s[i..i + dim]),
+            (RowStorage::F16(dst), RowStorage::F16(s)) => dst.extend_from_slice(&s[i..i + dim]),
+            _ => panic!("row-storage precision mismatch in gather"),
+        }
+    }
+
+    /// Score one row against a query through the canonical kernel for
+    /// this precision.
+    ///
+    /// # Panics
+    /// Panics when the row is out of bounds or `query.len() != dim`.
+    #[inline]
+    pub fn dot_row(&self, dim: usize, id: u32, query: &[f32]) -> f32 {
+        let i = id as usize * dim;
+        match self {
+            RowStorage::F32(d) => dot(&d[i..i + dim], query),
+            RowStorage::F16(d) => dot_f16(&d[i..i + dim], query),
+        }
+    }
+
+    /// Single-query GEMV over the row range `rows`: `out[j] =
+    /// row(rows.start + j) · query`.
+    ///
+    /// # Panics
+    /// Same shape contract as `seesaw_linalg::gemv1_into`.
+    pub fn gemv1_range(&self, dim: usize, rows: Range<usize>, query: &[f32], out: &mut [f32]) {
+        let elems = rows.start * dim..rows.end * dim;
+        match self {
+            RowStorage::F32(d) => gemv1_into(&d[elems], dim, query, out),
+            RowStorage::F16(d) => gemv1_f16_into(&d[elems], dim, query, out),
+        }
+    }
+
+    /// Multi-query GEMV over the row range `rows`, query-major output
+    /// (`out[q·n + j]`, `n = rows.len()`).
+    ///
+    /// # Panics
+    /// Same shape contract as `seesaw_linalg::gemv_into`.
+    pub fn gemv_range(&self, dim: usize, rows: Range<usize>, queries: &[&[f32]], out: &mut [f32]) {
+        let elems = rows.start * dim..rows.end * dim;
+        match self {
+            RowStorage::F32(d) => gemv_into(&d[elems], dim, queries, out),
+            RowStorage::F16(d) => gemv_f16_into(&d[elems], dim, queries, out),
+        }
+    }
+
+    /// Decode row `id` into an `f32` buffer (exact for both
+    /// precisions — f16 widening never rounds).
+    ///
+    /// # Panics
+    /// Panics when the row is out of bounds or `out.len() != dim`.
+    pub fn row_into(&self, dim: usize, id: u32, out: &mut [f32]) {
+        assert_eq!(out.len(), dim, "row_into output length mismatch");
+        let i = id as usize * dim;
+        match self {
+            RowStorage::F32(d) => out.copy_from_slice(&d[i..i + dim]),
+            RowStorage::F16(d) => {
+                for (o, &h) in out.iter_mut().zip(&d[i..i + dim]) {
+                    *o = f32_from_f16(h);
+                }
+            }
+        }
+    }
+
+    /// Borrow the raw `f32` buffer; `None` for f16 storage.
+    pub fn as_f32(&self) -> Option<&[f32]> {
+        match self {
+            RowStorage::F32(d) => Some(d),
+            RowStorage::F16(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use seesaw_linalg::random_unit_vector;
+
+    fn rows(n: usize, dim: usize, seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::with_capacity(n * dim);
+        for _ in 0..n {
+            out.extend_from_slice(&random_unit_vector(&mut rng, dim));
+        }
+        out
+    }
+
+    #[test]
+    fn f32_storage_scores_bitwise_like_raw_kernels() {
+        let (n, dim) = (20, 11);
+        let data = rows(n, dim, 1);
+        let q = random_unit_vector(&mut StdRng::seed_from_u64(2), dim);
+        let st = RowStorage::encode(RowPrecision::F32, data.clone());
+        for id in 0..n as u32 {
+            let reference = dot(&data[id as usize * dim..(id as usize + 1) * dim], &q);
+            assert_eq!(st.dot_row(dim, id, &q).to_bits(), reference.to_bits());
+        }
+        let mut got = vec![0.0f32; 7];
+        st.gemv1_range(dim, 5..12, &q, &mut got);
+        for (j, g) in got.iter().enumerate() {
+            let reference = st.dot_row(dim, (5 + j) as u32, &q);
+            assert_eq!(g.to_bits(), reference.to_bits());
+        }
+    }
+
+    #[test]
+    fn f16_storage_scores_equal_scoring_decoded_rows() {
+        let (n, dim) = (16, 13);
+        let data = rows(n, dim, 3);
+        let q = random_unit_vector(&mut StdRng::seed_from_u64(4), dim);
+        let st = RowStorage::encode(RowPrecision::F16, data.clone());
+        let mut decoded = vec![0.0f32; dim];
+        for id in 0..n as u32 {
+            st.row_into(dim, id, &mut decoded);
+            let reference = dot(&decoded, &q);
+            assert_eq!(st.dot_row(dim, id, &q).to_bits(), reference.to_bits());
+            // And the decoded row is close to the original (unit-norm
+            // data: f16 relative error ≤ 2⁻¹¹ per element).
+            for (d, o) in decoded
+                .iter()
+                .zip(&data[id as usize * dim..(id as usize + 1) * dim])
+            {
+                assert!((d - o).abs() <= 6e-4, "{d} vs {o}");
+            }
+        }
+    }
+
+    #[test]
+    fn gather_preserves_precision_and_scores() {
+        let (n, dim) = (10, 9);
+        let data = rows(n, dim, 5);
+        let q = random_unit_vector(&mut StdRng::seed_from_u64(6), dim);
+        for precision in [RowPrecision::F32, RowPrecision::F16] {
+            let st = RowStorage::encode(precision, data.clone());
+            let mut scratch = st.empty_like();
+            let ids = [7u32, 0, 3];
+            for &id in &ids {
+                scratch.push_row_from(&st, dim, id);
+            }
+            assert_eq!(scratch.precision(), precision);
+            let mut got = vec![0.0f32; ids.len()];
+            scratch.gemv1_range(dim, 0..ids.len(), &q, &mut got);
+            for (j, &id) in ids.iter().enumerate() {
+                assert_eq!(got[j].to_bits(), st.dot_row(dim, id, &q).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "precision mismatch")]
+    fn mixed_precision_gather_panics() {
+        let f32s = RowStorage::encode(RowPrecision::F32, vec![1.0; 4]);
+        let mut f16s = RowStorage::encode(RowPrecision::F16, vec![]);
+        f16s.push_row_from(&f32s, 4, 0);
+    }
+
+    #[test]
+    fn precision_labels_round_trip() {
+        for p in [RowPrecision::F32, RowPrecision::F16] {
+            assert_eq!(RowPrecision::parse(p.name()), Some(p));
+        }
+        assert_eq!(RowPrecision::parse("bf16"), None);
+        assert_eq!(RowPrecision::default(), RowPrecision::F32);
+        assert_eq!(RowPrecision::F16.bytes_per_element(), 2);
+    }
+}

@@ -13,7 +13,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use seesaw::linalg::random_unit_vector;
 use seesaw::vecstore::{
-    recall_at_k, ExactStore, IvfConfig, RpForestConfig, ShardedStore, StoreConfig, VectorStore,
+    recall_at_k, ExactStore, IvfConfig, RowPrecision, RpForestConfig, ShardedStore, StoreConfig,
+    VectorStore,
 };
 
 fn random_data(n: usize, dim: usize, seed: u64) -> Vec<f32> {
@@ -111,6 +112,102 @@ fn batched_sharded_exact_is_bit_identical_to_exact() {
             let truth = exact.top_k_filtered(q, 11, &keep);
             assert_bit_identical(&truth, got, &format!("batched shards={shards} q={qi}"));
         }
+    }
+}
+
+#[test]
+fn sharded_f16_exact_is_bit_identical_to_unsharded_f16_exact() {
+    // The shard-invariance contract holds *per precision*: the f16
+    // sharded scan must reproduce the f16 unsharded scan bit for bit
+    // (per-shard encoding is element-wise, so it cannot depend on the
+    // partition), even though neither matches the f32 scan.
+    let (n, dim) = (500usize, 16usize);
+    let data = random_data(n, dim, 71);
+    let f16_cfg = StoreConfig::exact().with_precision(RowPrecision::F16);
+    let exact_f16 = f16_cfg.clone().build(dim, data.clone());
+    let queries = random_queries(6, dim, 72);
+    for shards in [2usize, 3, 7] {
+        let sharded = f16_cfg.clone().with_shards(shards).build(dim, data.clone());
+        for (qi, q) in queries.iter().enumerate() {
+            assert_bit_identical(
+                &exact_f16.top_k(q, 10),
+                &sharded.top_k(q, 10),
+                &format!("f16 shards={shards} q={qi}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn recall_f16_storage_stays_above_floors() {
+    // Half-precision rows round once at encode time; for unit-norm
+    // embeddings the score perturbation is ~2⁻¹¹ relative, so recall
+    // against the f32 exact scan stays near-perfect for the exact-f16
+    // scan and within the IVF floor for ivf-f16.
+    let (n, dim) = (2000usize, 24usize);
+    let data = random_data(n, dim, 61);
+    let exact = ExactStore::new(dim, data.clone());
+    let queries = random_queries(20, dim, 62);
+    let exact_f16 = StoreConfig::exact()
+        .with_precision(RowPrecision::F16)
+        .build(dim, data.clone());
+    let recall = recall_at_k(&exact, &exact_f16, &queries, 10);
+    assert!(recall > 0.95, "exact-f16 recall@10 = {recall}, floor 0.95");
+    let ivf_f16 = StoreConfig::ivf(IvfConfig::default())
+        .with_precision(RowPrecision::F16)
+        .build(dim, data.clone());
+    let recall = recall_at_k(&exact, &ivf_f16, &queries, 10);
+    assert!(recall > 0.70, "ivf-f16 recall@10 = {recall}, floor 0.70");
+}
+
+#[test]
+fn ivf_build_survives_denormal_rows_without_poisoning_centroids() {
+    // Regression test for the normalize_rows zero-fill contract, end
+    // to end through IVF training. Clustered data plus a few
+    // denormal-norm junk rows: the junk rows are every centroid's
+    // worst-served rows, so empty clusters reseed from them, and the
+    // subsequent centroid normalization used to compute 1/‖x‖ on a
+    // denormal norm — inf/NaN centroids that poison every probe
+    // ranking. With the zero-fill contract the degenerate centroid
+    // becomes the zero vector: inert, finite, and never probed first.
+    let dim = 8usize;
+    let mut data = Vec::new();
+    // Two tight clusters on basis directions...
+    for _ in 0..24 {
+        let mut v = vec![0.0f32; dim];
+        v[0] = 1.0;
+        data.extend_from_slice(&v);
+        let mut v = vec![0.0f32; dim];
+        v[1] = 1.0;
+        data.extend_from_slice(&v);
+    }
+    // ...and junk rows whose norm is far below f32::EPSILON.
+    for _ in 0..4 {
+        data.extend_from_slice(&[1.0e-24f32; 8]);
+    }
+    let n = data.len() / dim;
+    let cfg = IvfConfig {
+        n_lists: 8,
+        ..IvfConfig::default()
+    };
+    for precision in [RowPrecision::F32, RowPrecision::F16] {
+        let store = StoreConfig::ivf(cfg.clone())
+            .with_precision(precision)
+            .build(dim, data.clone());
+        let mut q = vec![0.0f32; dim];
+        q[0] = 1.0;
+        let hits = store.top_k(&q, n);
+        assert!(!hits.is_empty(), "{precision:?}");
+        for h in &hits {
+            assert!(
+                h.score.is_finite(),
+                "{precision:?}: non-finite score {} for id {}",
+                h.score,
+                h.id
+            );
+        }
+        // The top hit must be one of the cluster-0 rows at score 1.0.
+        assert_eq!(hits[0].score, 1.0, "{precision:?}");
     }
 }
 
