@@ -5,22 +5,32 @@
 //! selected through `StoreConfig` rather than hardcoded types:
 //!
 //! 1. recall@10 and per-lookup latency of every backend (exact scan,
-//!    RP forest, IVF — the dense backends at both `f32` and `f16` row
-//!    storage) against the exact scan;
+//!    RP forest, IVF — the dense backends at `f32`, `f16`, and `sq8`
+//!    row storage) against the exact scan;
 //! 2. wall-clock speedup of sharded exact search over the unsharded
 //!    scan at 1/2/4/8 shards (the parallelism layer's headline number —
 //!    expect ≈ linear scaling up to the machine's core count);
 //! 3. end-to-end SeeSaw mAP per backend at the default budget;
 //! 4. end-to-end SeeSaw mAP as a function of the candidate budget
-//!    (`search_k`) on the default backend.
+//!    (`search_k`) on the default backend;
+//! 5. the **quantization sweep**: memory × recall × latency for every
+//!    precision on the dense-row backends, written to
+//!    `BENCH_quant.json` at the repo root (override with
+//!    `SEESAW_QUANT_OUT`) so CI can track the trade-off over time. The
+//!    sweep also builds a dim-512 SQ8 store and fails the bench if its
+//!    scan footprint exceeds 1.1 bytes/element — the capacity claim
+//!    that makes 10M-row datasets fit in RAM.
 
+use std::fmt::Write as _;
 use std::time::Instant;
 
 use seesaw_bench::{ap_per_query, bench_seed, bench_store_config, mean_ap};
 use seesaw_core::{MethodConfig, PreprocessConfig, Preprocessor};
 use seesaw_dataset::DatasetSpec;
 use seesaw_metrics::{BenchmarkProtocol, TableBuilder};
-use seesaw_vecstore::{IvfConfig, RowPrecision, RpForestConfig, StoreConfig, VectorStore};
+use seesaw_vecstore::{
+    ExactStore, IvfConfig, IvfStore, RowPrecision, RpForestConfig, StoreConfig, VectorStore,
+};
 
 fn main() {
     let scale = 0.01 * seesaw_bench::env_f64("SEESAW_SCALE", 1.0);
@@ -41,12 +51,17 @@ fn main() {
     // --- recall + latency per backend -------------------------------
     // The dense-row backends (exact, IVF) additionally sweep the row
     // storage precision: f16 halves scan bandwidth and costs at most a
-    // one-time rounding of each stored row.
+    // one-time rounding of each stored row; sq8 quarters it again and
+    // re-ranks its top pool against the exact f32 source rows.
     let backends = [
         ("exact", StoreConfig::exact()),
         (
             "exact-f16",
             StoreConfig::exact().with_precision(RowPrecision::F16),
+        ),
+        (
+            "exact-sq8",
+            StoreConfig::exact().with_precision(RowPrecision::Sq8),
         ),
         ("forest", StoreConfig::forest(RpForestConfig::default())),
         ("ivf", StoreConfig::ivf(IvfConfig::default())),
@@ -54,10 +69,14 @@ fn main() {
             "ivf-f16",
             StoreConfig::ivf(IvfConfig::default()).with_precision(RowPrecision::F16),
         ),
+        (
+            "ivf-sq8",
+            StoreConfig::ivf(IvfConfig::default()).with_precision(RowPrecision::Sq8),
+        ),
     ];
     let exact = StoreConfig::exact().build(idx.dim, data.clone());
     let mut recall_table = TableBuilder::new(
-        "Backend recall@10 and lookup latency (default knobs, f32 and f16 row storage)",
+        "Backend recall@10 and lookup latency (default knobs; f32, f16, and sq8 row storage)",
     )
     .header(["backend", "recall@10", "lookup µs"]);
     for (label, cfg) in &backends {
@@ -164,8 +183,161 @@ fn main() {
         ap_table.num_row(label, &[mean_ap(&aps)], 3);
     }
     println!("{ap_table}");
+
+    // --- quantization sweep: memory × recall × latency ---------------
+    quant_sweep(idx.dim, &data, &queries, &exact);
+
     println!("claims under test (§2.2): approximate lookup costs little accuracy —");
     println!("per-backend mAP within a few points of exact, and mAP at the default");
     println!("budget within a few points of the largest; sharded exact search");
-    println!("approaches linear speedup up to the core count.");
+    println!("approaches linear speedup up to the core count; sq8 rows cost ~4x");
+    println!("less scan bandwidth than f32 at ≥0.9 recall@10 after re-ranking.");
+}
+
+/// One (backend × precision) cell of the quantization sweep.
+struct QuantCell {
+    backend: &'static str,
+    precision: RowPrecision,
+    scan_bytes_per_elem: f64,
+    resident_bytes_per_elem: f64,
+    recall_at_10: f64,
+    lookup_us: f64,
+}
+
+/// Sweep row-storage precision across the dense-row backends and
+/// record memory (bytes/element, measured from the built store, not
+/// computed from the format), recall@10 against the exact f32 scan,
+/// and per-lookup latency. Writes `BENCH_quant.json` and enforces the
+/// dim-512 SQ8 capacity gate.
+fn quant_sweep(dim: usize, data: &[f32], queries: &[Vec<f32>], exact: &dyn VectorStore) {
+    let n_elems = data.len();
+    let precisions = [RowPrecision::F32, RowPrecision::F16, RowPrecision::Sq8];
+    let mut cells: Vec<QuantCell> = Vec::new();
+    for backend in ["exact", "ivf"] {
+        for p in precisions {
+            // Build the concrete type first: the memory accounting
+            // lives on `RowStorage`, behind the `rows()` accessors.
+            let (store, scan_bytes, resident_bytes): (Box<dyn VectorStore>, usize, usize) =
+                match backend {
+                    "exact" => {
+                        let s = ExactStore::with_precision(dim, data.to_vec(), p);
+                        let (sb, rb) = (s.rows().scan_bytes(), s.rows().resident_bytes());
+                        (Box::new(s), sb, rb)
+                    }
+                    _ => {
+                        let s = IvfStore::build_with_precision(
+                            dim,
+                            data.to_vec(),
+                            IvfConfig::default(),
+                            p,
+                        );
+                        let (sb, rb) = (s.rows().scan_bytes(), s.rows().resident_bytes());
+                        (Box::new(s), sb, rb)
+                    }
+                };
+            let mut hit = 0usize;
+            let mut total = 0usize;
+            for q in queries {
+                let truth = exact.top_k(q, 10);
+                let approx = store.top_k(q, 10);
+                total += truth.len();
+                hit += truth
+                    .iter()
+                    .filter(|t| approx.iter().any(|h| h.id == t.id))
+                    .count();
+            }
+            // Warm-up pass done above (the recall pass); 3 timed passes.
+            let t0 = Instant::now();
+            for _ in 0..3 {
+                for q in queries {
+                    let _ = store.top_k(q, 10);
+                }
+            }
+            let lookup_us = t0.elapsed().as_secs_f64() * 1e6 / (3 * queries.len()).max(1) as f64;
+            cells.push(QuantCell {
+                backend,
+                precision: p,
+                scan_bytes_per_elem: scan_bytes as f64 / n_elems.max(1) as f64,
+                resident_bytes_per_elem: resident_bytes as f64 / n_elems.max(1) as f64,
+                recall_at_10: hit as f64 / total.max(1) as f64,
+                lookup_us,
+            });
+        }
+    }
+
+    let mut table = TableBuilder::new("Quantization sweep: memory × recall@10 × latency").header([
+        "backend",
+        "precision",
+        "scan B/elem",
+        "resident B/elem",
+        "recall@10",
+        "lookup µs",
+    ]);
+    for c in &cells {
+        table.row([
+            c.backend.to_string(),
+            c.precision.name().to_string(),
+            format!("{:.3}", c.scan_bytes_per_elem),
+            format!("{:.3}", c.resident_bytes_per_elem),
+            format!("{:.3}", c.recall_at_10),
+            format!("{:.0}", c.lookup_us),
+        ]);
+    }
+    println!("{table}");
+
+    // Capacity gate at the paper's embedding width: a dim-512 SQ8
+    // store must scan ≤ 1.1 bytes/element (1 code byte + 8 param
+    // bytes / 512 ≈ 1.016) or 10M-row datasets stop fitting in RAM.
+    let n512 = 2048usize;
+    let wide = {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(bench_seed());
+        let mut buf = Vec::with_capacity(n512 * 512);
+        for _ in 0..n512 {
+            buf.extend_from_slice(&seesaw_linalg::random_unit_vector(&mut rng, 512));
+        }
+        buf
+    };
+    let sq8_512 = ExactStore::with_precision(512, wide, RowPrecision::Sq8);
+    let dim512_scan = sq8_512.rows().scan_bytes() as f64 / (n512 * 512) as f64;
+    eprintln!("[ablation_store] dim-512 sq8 scan footprint: {dim512_scan:.4} bytes/element");
+    assert!(
+        dim512_scan <= 1.1,
+        "sq8 at dim 512 must scan ≤ 1.1 bytes/element, measured {dim512_scan:.4}"
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"ablation_store_quant\",");
+    let _ = writeln!(json, "  \"dim\": {dim},");
+    let _ = writeln!(json, "  \"rows\": {},", n_elems / dim.max(1));
+    let _ = writeln!(json, "  \"queries\": {},", queries.len());
+    let _ = writeln!(
+        json,
+        "  \"sq8_dim512_scan_bytes_per_element\": {dim512_scan:.4},"
+    );
+    let _ = writeln!(json, "  \"cells\": [");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"backend\": \"{}\", \"precision\": \"{}\", \
+             \"scan_bytes_per_element\": {:.4}, \"resident_bytes_per_element\": {:.4}, \
+             \"recall_at_10\": {:.4}, \"lookup_us\": {:.2}}}",
+            c.backend,
+            c.precision.name(),
+            c.scan_bytes_per_elem,
+            c.resident_bytes_per_elem,
+            c.recall_at_10,
+            c.lookup_us
+        );
+        let _ = writeln!(json, "{}", if i + 1 < cells.len() { "," } else { "" });
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+
+    let default_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_quant.json");
+    let out_path = std::env::var("SEESAW_QUANT_OUT").unwrap_or_else(|_| default_path.to_string());
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    eprintln!("[ablation_store] wrote {out_path}");
 }

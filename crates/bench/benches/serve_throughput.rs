@@ -31,10 +31,17 @@
 //! non-zero after writing its results. `SEESAW_SERVE_STRICT=0` turns
 //! the failure into a warning (mirroring the scan gate's opt-out).
 //!
+//! Before the client sweep the harness also measures the **cold-start
+//! story**: building a 100k-row IVF store in memory vs mmap-loading
+//! the same store from a saved `SSAWIDX1` file. The zero-copy load
+//! must be ≥ 50× faster than the rebuild (strict-gated like the
+//! throughput floor); both numbers land in the JSON `notes`.
+//!
 //! Knobs: `SEESAW_SERVE_ROUNDS` (base feedback rounds per client,
 //! default 40, auto-scaled up per config), `SEESAW_SERVE_WORKERS`
 //! (worker pool size, default 4), `SEESAW_SERVE_MAX_CLIENTS` (skip
-//! configs above this, default 512), `SEESAW_SERVE_STRICT`.
+//! configs above this, default 512), `SEESAW_SERVE_STRICT`,
+//! `SEESAW_COLDSTART_ROWS` (cold-start store size, default 100000).
 //!
 //! ```sh
 //! cargo bench --bench serve_throughput
@@ -76,6 +83,67 @@ struct ConfigResult {
     requests_per_sec: f64,
     p50_ms: f64,
     p99_ms: f64,
+}
+
+struct ColdStart {
+    rows: usize,
+    dim: usize,
+    build_ms: f64,
+    mmap_load_ms: f64,
+    speedup: f64,
+}
+
+/// Cold-start comparison (the on-disk index story): build an IVF store
+/// over `SEESAW_COLDSTART_ROWS` random vectors (default 100k), save it
+/// in the `SSAWIDX1` format, and time an mmap load of the file against
+/// the in-memory rebuild. The zero-copy load must come in ≥ 50× faster
+/// — the number that turns a server restart from a k-means run into a
+/// page-table update. Recorded in the BENCH_serve.json notes.
+fn cold_start_comparison() -> ColdStart {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use seesaw_vecstore::{load_store, save_store, IvfConfig, StoreConfig, VectorStore};
+
+    let rows = env_usize("SEESAW_COLDSTART_ROWS", 100_000);
+    let dim = 64usize;
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut data = Vec::with_capacity(rows * dim);
+    for _ in 0..rows {
+        data.extend_from_slice(&seesaw_linalg::random_unit_vector(&mut rng, dim));
+    }
+
+    let t0 = Instant::now();
+    let built = StoreConfig::ivf(IvfConfig::default()).build(dim, data.clone());
+    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let path =
+        std::env::temp_dir().join(format!("seesaw_coldstart_{}.ssawidx", std::process::id()));
+    save_store(&built, &path).expect("save_store");
+
+    let t0 = Instant::now();
+    let loaded = load_store(&path).expect("load_store");
+    let mmap_load_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // The loaded store must answer identically, not just quickly.
+    let q = &data[..dim];
+    let (a, b) = (built.top_k(q, 10), loaded.top_k(q, 10));
+    assert_eq!(a.len(), b.len(), "mmap-loaded store answers differently");
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(
+            (x.id, x.score.to_bits()),
+            (y.id, y.score.to_bits()),
+            "mmap-loaded store answers differently"
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+
+    ColdStart {
+        rows,
+        dim,
+        build_ms,
+        mmap_load_ms,
+        speedup: build_ms / mmap_load_ms.max(1e-6),
+    }
 }
 
 /// Drive one client's interactive loop for `rounds` feedback rounds,
@@ -242,6 +310,23 @@ fn main() {
         max_clients
     );
 
+    eprintln!("[serve] cold-start comparison (build vs mmap load)…");
+    let cold = cold_start_comparison();
+    eprintln!(
+        "[serve] cold start: ivf {}×{} build {:.1} ms vs mmap load {:.3} ms = {:.0}×",
+        cold.rows, cold.dim, cold.build_ms, cold.mmap_load_ms, cold.speedup
+    );
+    if cold.speedup < 50.0 {
+        eprintln!(
+            "[serve] REGRESSION: mmap cold start is only {:.1}× faster than rebuild (floor 50×)",
+            cold.speedup
+        );
+        if strict {
+            std::process::exit(1);
+        }
+        eprintln!("[serve] SEESAW_SERVE_STRICT=0 — continuing despite the regression");
+    }
+
     let mut results: Vec<ConfigResult> = Vec::new();
     for &n_clients in CLIENT_COUNTS.iter().filter(|&&n| n <= max_clients) {
         // Spread the base request budget over the clients, then let
@@ -292,6 +377,18 @@ fn main() {
     let _ = writeln!(json, "  \"workers\": {workers},");
     let _ = writeln!(json, "  \"method\": \"seesaw\",");
     let _ = writeln!(json, "  \"min_wall_seconds\": {MIN_WALL_SECONDS},");
+    let _ = writeln!(
+        json,
+        "  \"notes\": \"cold start: ivf {}x{} build {:.1} ms vs mmap load {:.3} ms = {:.0}x \
+         (floor 50x)\",",
+        cold.rows, cold.dim, cold.build_ms, cold.mmap_load_ms, cold.speedup
+    );
+    let _ = writeln!(
+        json,
+        "  \"cold_start\": {{\"backend\": \"ivf\", \"rows\": {}, \"dim\": {}, \
+         \"build_ms\": {:.2}, \"mmap_load_ms\": {:.4}, \"speedup\": {:.1}}},",
+        cold.rows, cold.dim, cold.build_ms, cold.mmap_load_ms, cold.speedup
+    );
     let _ = writeln!(json, "  \"configs\": [");
     for (i, r) in results.iter().enumerate() {
         let _ = write!(

@@ -2,7 +2,7 @@
 
 use seesaw_core::{PreprocessConfig, Preprocessor};
 use seesaw_dataset::{DatasetSpec, SyntheticDataset};
-use seesaw_vecstore::StoreConfig;
+use seesaw_vecstore::{RowPrecision, StoreConfig};
 
 use crate::{env_f64, env_usize};
 
@@ -11,14 +11,29 @@ pub fn bench_seed() -> u64 {
     env_usize("SEESAW_SEED", 7) as u64
 }
 
-/// The vector-store backend for bench indexes, selected by environment
-/// (`SEESAW_STORE` = `forest` | `exact` | `ivf`, `SEESAW_SHARDS` = N)
-/// instead of hardcoding one — every harness that builds through
-/// [`build_indexes`] runs against whichever backend the caller picks.
+/// Row-storage precision for bench indexes (`SEESAW_PRECISION` =
+/// `f32` | `f16` | `sq8`, default `f32`).
 ///
 /// # Panics
-/// Panics on an unknown `SEESAW_STORE` value (silent fallback would
-/// make a typo benchmark the wrong backend).
+/// Panics on an unknown value, mirroring [`bench_store_config`]: a
+/// typo must not silently benchmark full-precision rows.
+pub fn bench_precision() -> RowPrecision {
+    match std::env::var("SEESAW_PRECISION") {
+        Err(_) => RowPrecision::F32,
+        Ok(name) => RowPrecision::parse(&name)
+            .unwrap_or_else(|| panic!("SEESAW_PRECISION={name:?}: expected f32, f16, or sq8")),
+    }
+}
+
+/// The vector-store backend for bench indexes, selected by environment
+/// (`SEESAW_STORE` = `forest` | `exact` | `ivf`, `SEESAW_SHARDS` = N,
+/// `SEESAW_PRECISION` = `f32` | `f16` | `sq8`) instead of hardcoding
+/// one — every harness that builds through [`build_indexes`] runs
+/// against whichever backend the caller picks.
+///
+/// # Panics
+/// Panics on an unknown `SEESAW_STORE` or `SEESAW_PRECISION` value
+/// (silent fallback would make a typo benchmark the wrong backend).
 pub fn bench_store_config() -> StoreConfig {
     let cfg = match std::env::var("SEESAW_STORE") {
         Err(_) => PreprocessConfig::fast().store,
@@ -32,6 +47,7 @@ pub fn bench_store_config() -> StoreConfig {
         },
     };
     cfg.with_shards(env_usize("SEESAW_SHARDS", 0))
+        .with_precision(bench_precision())
 }
 
 /// The four paper datasets at bench scale, in the paper's column order

@@ -18,13 +18,17 @@
 //!   `exact`, or `ivf`.
 //! * `SEESAW_SHARDS` — shard the store across N parallel workers
 //!   (default 0 = unsharded).
+//! * `SEESAW_PRECISION` — row-storage precision for the dense-row
+//!   backends: `f32` (default), `f16`, or `sq8` (no-op on the RP
+//!   forest, which keeps its own f32 layout).
 
 pub mod context;
 pub mod experiments;
 pub mod usersim;
 
 pub use context::{
-    bench_seed, bench_store_config, bench_suite, build_indexes, BuiltDataset, IndexNeeds,
+    bench_precision, bench_seed, bench_store_config, bench_suite, build_indexes, BuiltDataset,
+    IndexNeeds,
 };
 pub use experiments::{ap_per_query, hard_subset, mean_ap, select_hard, MethodFactory};
 pub use usersim::{simulate_task_time, AnnotationModel, UserSimConfig};

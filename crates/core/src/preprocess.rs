@@ -211,27 +211,27 @@ impl Preprocessor {
     }
 }
 
-/// Build the store, graph artifacts, and `M_D` from an existing
-/// embedding block — the shared tail of [`Preprocessor::build`] and
-/// [`crate::persist::load_embeddings`]. Deterministic given `cfg`.
-pub(crate) fn rebuild_from_embeddings(
-    dim: usize,
-    embeddings: Vec<f32>,
-    patches: Vec<PatchMeta>,
-    image_patch_ranges: Vec<(u32, u32)>,
-    multiscale: bool,
-    cfg: &PreprocessConfig,
-) -> DatasetIndex {
-    let n_patches = patches.len();
-    let n_images = image_patch_ranges.len();
-    let coarse_patches: Vec<u32> = image_patch_ranges.iter().map(|&(s, _)| s).collect();
+/// The graph-derived preprocessing artifacts (`M_D`, the propagation
+/// adjacency, the ENS coarse graph) — the config-gated tail shared by
+/// a from-scratch build and a cold-start load with graphs requested.
+pub(crate) struct GraphArtifacts {
+    pub m_d: Option<DenseMatrix>,
+    pub patch_adjacency: Option<seesaw_linalg::CsrMatrix>,
+    pub coarse_graph: Option<KnnGraph>,
+}
 
-    // --- vector store --------------------------------------------
-    let store = cfg
-        .store
-        .clone()
-        .reseeded(cfg.seed)
-        .build(dim, embeddings.clone());
+/// Build the config-requested graph artifacts over an embedding block.
+/// Deterministic given `cfg`. Every artifact is optional: with all
+/// three `build_*` flags off this is free, which is what lets an
+/// mmapped index cold-start in milliseconds.
+pub(crate) fn build_graph_artifacts(
+    dim: usize,
+    embeddings: &[f32],
+    coarse_patches: &[u32],
+    cfg: &PreprocessConfig,
+) -> GraphArtifacts {
+    let n_patches = embeddings.len() / dim.max(1);
+    let n_images = coarse_patches.len();
 
     // --- patch-level graph artifacts ------------------------------
     // The propagation adjacency and the full-data M_D share one
@@ -243,11 +243,11 @@ pub(crate) fn rebuild_from_embeddings(
     let mut m_d = None;
     let mut patch_adjacency = None;
     if want_full_graph {
-        let graph = KnnGraph::nn_descent(dim, &embeddings, cfg.knn_k, &cfg.nn_descent);
+        let graph = KnnGraph::nn_descent(dim, embeddings, cfg.knn_k, &cfg.nn_descent);
         let adjacency = gaussian_adjacency(&graph, cfg.sigma);
         if cfg.build_db_matrix && cfg.db_matrix_sample.is_none() {
             let lap = seesaw_knn::laplacian(&adjacency);
-            let x = DenseMatrix::from_vec(n_patches, dim, embeddings.clone());
+            let x = DenseMatrix::from_vec(n_patches, dim, embeddings.to_vec());
             let mut m = lap.xtax(&x);
             let n_edges = (adjacency.nnz() / 2).max(1);
             m.scale(1.0 / n_edges as f32);
@@ -261,7 +261,7 @@ pub(crate) fn rebuild_from_embeddings(
     if m_d.is_none() && cfg.build_db_matrix && graph_feasible {
         m_d = Some(compute_db_matrix(
             dim,
-            &embeddings,
+            embeddings,
             &DbMatrixConfig {
                 k: cfg.knn_k,
                 sigma: cfg.sigma,
@@ -276,7 +276,7 @@ pub(crate) fn rebuild_from_embeddings(
     // --- coarse graph for ENS -------------------------------------
     let coarse_graph = if cfg.build_coarse_graph && n_images > cfg.ens_knn_k + 2 {
         let mut coarse_data = Vec::with_capacity(n_images * dim);
-        for &p in &coarse_patches {
+        for &p in coarse_patches {
             coarse_data.extend_from_slice(&embeddings[p as usize * dim..(p as usize + 1) * dim]);
         }
         Some(KnnGraph::nn_descent(
@@ -288,6 +288,40 @@ pub(crate) fn rebuild_from_embeddings(
     } else {
         None
     };
+
+    GraphArtifacts {
+        m_d,
+        patch_adjacency,
+        coarse_graph,
+    }
+}
+
+/// Build the store, graph artifacts, and `M_D` from an existing
+/// embedding block — the shared tail of [`Preprocessor::build`] and
+/// [`crate::persist::load_embeddings`]. Deterministic given `cfg`.
+pub(crate) fn rebuild_from_embeddings(
+    dim: usize,
+    embeddings: Vec<f32>,
+    patches: Vec<PatchMeta>,
+    image_patch_ranges: Vec<(u32, u32)>,
+    multiscale: bool,
+    cfg: &PreprocessConfig,
+) -> DatasetIndex {
+    let n_patches = patches.len();
+    let coarse_patches: Vec<u32> = image_patch_ranges.iter().map(|&(s, _)| s).collect();
+
+    // --- vector store --------------------------------------------
+    let store = cfg
+        .store
+        .clone()
+        .reseeded(cfg.seed)
+        .build(dim, embeddings.clone());
+
+    let GraphArtifacts {
+        m_d,
+        patch_adjacency,
+        coarse_graph,
+    } = build_graph_artifacts(dim, &embeddings, &coarse_patches, cfg);
 
     DatasetIndex {
         dim,

@@ -62,7 +62,8 @@
 //!   [`crate::vector::normalize`] per row bit for bit.
 
 use crate::simd::{
-    active_tier, dispatch_dot, dispatch_dot_f16, dispatch_gemv1, dispatch_gemv1_f16, Tier,
+    active_tier, dispatch_dot, dispatch_dot_f16, dispatch_dot_sq8, dispatch_gemv1,
+    dispatch_gemv1_f16, dispatch_gemv1_sq8, Tier,
 };
 
 /// Rows per cache block in [`gemv_into`]: `16 × 512 dims × 4 B = 32 KiB`
@@ -112,6 +113,29 @@ pub fn dot_f16(a: &[u16], b: &[f32]) -> f32 {
 pub fn dot_f16_with(tier: Tier, a: &[u16], b: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len(), "dot length mismatch");
     dispatch_dot_f16(tier, a, b)
+}
+
+/// Inner product of an SQ8-encoded row against an `f32` query, on the
+/// active SIMD tier: each u8 code dequantizes as `offset + scale *
+/// code` (separate multiply and add roundings; the u8→f32 conversion
+/// is exact) before the canonical multiply-accumulate. Bit-identical
+/// to dequantizing the row into an `f32` buffer and calling [`dot`].
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn dot_sq8(codes: &[u8], scale: f32, offset: f32, query: &[f32]) -> f32 {
+    dot_sq8_with(active_tier(), codes, scale, offset, query)
+}
+
+/// [`dot_sq8`] on an explicit tier.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn dot_sq8_with(tier: Tier, codes: &[u8], scale: f32, offset: f32, query: &[f32]) -> f32 {
+    assert_eq!(codes.len(), query.len(), "dot length mismatch");
+    dispatch_dot_sq8(tier, codes, scale, offset, query)
 }
 
 /// Scalar reference inner product: one pair per iteration, strictly
@@ -272,6 +296,85 @@ pub fn gemv1_f16_into_with(tier: Tier, rows: &[u16], dim: usize, query: &[f32], 
     dispatch_gemv1_f16(tier, rows, dim, query, out);
 }
 
+/// Blocked multi-query GEMV over SQ8-encoded rows: the [`gemv_into`]
+/// twin for quantized row storage. `params` holds one `(scale,
+/// offset)` pair per row (`params[2r]`, `params[2r + 1]`); each score
+/// is computed by [`dot_sq8`], so the output is bit-identical to
+/// dequantizing the rows and calling [`gemv_into`].
+///
+/// # Panics
+/// Same shape contract as [`gemv_into`], plus
+/// `params.len() == 2 * (codes.len() / dim)`.
+pub fn gemv_sq8_into(
+    codes: &[u8],
+    dim: usize,
+    params: &[f32],
+    queries: &[&[f32]],
+    out: &mut [f32],
+) {
+    gemv_sq8_into_with(active_tier(), codes, dim, params, queries, out)
+}
+
+/// [`gemv_sq8_into`] on an explicit tier. Same contracts.
+pub fn gemv_sq8_into_with(
+    tier: Tier,
+    codes: &[u8],
+    dim: usize,
+    params: &[f32],
+    queries: &[&[f32]],
+    out: &mut [f32],
+) {
+    assert!(dim > 0, "dimension must be positive");
+    assert_eq!(codes.len() % dim, 0, "buffer is not a multiple of dim");
+    let n = codes.len() / dim;
+    assert_eq!(params.len(), 2 * n, "params length mismatch");
+    assert_eq!(out.len(), n * queries.len(), "output length mismatch");
+    for q in queries {
+        assert_eq!(q.len(), dim, "query dimension mismatch");
+    }
+    for block_start in (0..n).step_by(ROW_BLOCK) {
+        let block_end = (block_start + ROW_BLOCK).min(n);
+        let block = &codes[block_start * dim..block_end * dim];
+        let block_params = &params[2 * block_start..2 * block_end];
+        for (qi, q) in queries.iter().enumerate() {
+            let out_q = &mut out[qi * n + block_start..qi * n + block_end];
+            dispatch_gemv1_sq8(tier, block, dim, block_params, q, out_q);
+        }
+    }
+}
+
+/// Single-query GEMV over SQ8-encoded rows: `out[r] =
+/// dequant(codes[r]) · query`, computed without materializing the
+/// dequantized rows.
+///
+/// # Panics
+/// Same shape contract as [`gemv1_into`], plus
+/// `params.len() == 2 * (codes.len() / dim)`.
+pub fn gemv1_sq8_into(codes: &[u8], dim: usize, params: &[f32], query: &[f32], out: &mut [f32]) {
+    gemv1_sq8_into_with(active_tier(), codes, dim, params, query, out)
+}
+
+/// [`gemv1_sq8_into`] on an explicit tier. Same contracts.
+pub fn gemv1_sq8_into_with(
+    tier: Tier,
+    codes: &[u8],
+    dim: usize,
+    params: &[f32],
+    query: &[f32],
+    out: &mut [f32],
+) {
+    assert!(dim > 0, "dimension must be positive");
+    assert_eq!(codes.len() % dim, 0, "buffer is not a multiple of dim");
+    assert_eq!(
+        params.len(),
+        2 * (codes.len() / dim),
+        "params length mismatch"
+    );
+    assert_eq!(query.len(), dim, "query dimension mismatch");
+    assert_eq!(out.len(), codes.len() / dim, "output length mismatch");
+    dispatch_gemv1_sq8(tier, codes, dim, params, query, out);
+}
+
 /// Normalize every `dim`-length row of `data` to unit length in one
 /// blocked pass. Rows with norm at or below `f32::EPSILON` are
 /// **zero-filled**: they carry no meaningful direction, and dividing
@@ -418,12 +521,65 @@ mod tests {
     }
 
     #[test]
+    fn dot_sq8_matches_dequant_then_dot_bitwise() {
+        for len in 0..=3 * LANES {
+            let codes: Vec<u8> = (0..len).map(|i| (i * 37 % 256) as u8).collect();
+            let (scale, offset) = (3.1e-3f32, -0.42f32);
+            let q = random_rows(1, len.max(1), 21)[..len].to_vec();
+            let dequant: Vec<f32> = codes.iter().map(|&c| offset + scale * c as f32).collect();
+            assert_eq!(
+                dot_sq8(&codes, scale, offset, &q).to_bits(),
+                dot(&dequant, &q).to_bits(),
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn gemv_sq8_matches_per_row_dot_sq8_bitwise() {
+        let dim = 37;
+        let n = 45;
+        let codes: Vec<u8> = (0..n * dim).map(|i| (i * 131 % 256) as u8).collect();
+        let params: Vec<f32> = (0..2 * n)
+            .map(|i| {
+                if i % 2 == 0 {
+                    1.0e-3 + i as f32 * 1e-5
+                } else {
+                    -0.5 + i as f32 * 1e-3
+                }
+            })
+            .collect();
+        let queries_data = random_rows(3, dim, 23);
+        let queries: Vec<&[f32]> = queries_data.chunks_exact(dim).collect();
+        let mut out = vec![0.0f32; 3 * n];
+        gemv_sq8_into(&codes, dim, &params, &queries, &mut out);
+        for (qi, q) in queries.iter().enumerate() {
+            for r in 0..n {
+                let reference = dot_sq8(
+                    &codes[r * dim..(r + 1) * dim],
+                    params[2 * r],
+                    params[2 * r + 1],
+                    q,
+                );
+                assert_eq!(out[qi * n + r].to_bits(), reference.to_bits());
+            }
+        }
+        let mut single = vec![0.0f32; n];
+        gemv1_sq8_into(&codes, dim, &params, queries[1], &mut single);
+        for r in 0..n {
+            assert_eq!(single[r].to_bits(), out[n + r].to_bits());
+        }
+    }
+
+    #[test]
     fn gemv_handles_empty_rows() {
         let mut out: Vec<f32> = Vec::new();
         gemv_into(&[], 8, &[&[0.0; 8]], &mut out);
         gemv1_into(&[], 8, &[0.0; 8], &mut out);
         gemv_f16_into(&[], 8, &[&[0.0; 8]], &mut out);
         gemv1_f16_into(&[], 8, &[0.0; 8], &mut out);
+        gemv_sq8_into(&[], 8, &[], &[&[0.0; 8]], &mut out);
+        gemv1_sq8_into(&[], 8, &[], &[0.0; 8], &mut out);
     }
 
     #[test]

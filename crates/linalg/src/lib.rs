@@ -20,7 +20,9 @@
 //! every tier is bitwise identical, so determinism survives tier
 //! switches and machine moves. The [`half`] module provides exact
 //! bit-level f16↔f32 conversion for the half-precision row-storage
-//! tier scored by [`dot_f16`]/[`gemv_f16_into`]. Everything is
+//! tier scored by [`dot_f16`]/[`gemv_f16_into`]; the SQ8 quantized
+//! row tier is scored by [`dot_sq8`]/[`gemv_sq8_into`], dequantizing
+//! u8 codes on the fly in the same canonical order. Everything is
 //! deterministic, allocation conscious, and needs no BLAS dependency;
 //! see the [`kernels`] docs for the exact contracts (accumulation
 //! order, tier equivalence, determinism, panics).
@@ -37,8 +39,8 @@ pub mod vector;
 pub use dense::DenseMatrix;
 pub use half::{decode_f16_into, encode_f16, f16_from_f32, f32_from_f16};
 pub use kernels::{
-    axpy, dot, dot_f16, dot_scalar, gemv1_f16_into, gemv1_into, gemv_f16_into, gemv_into,
-    normalize_rows, scale_add,
+    axpy, dot, dot_f16, dot_scalar, dot_sq8, gemv1_f16_into, gemv1_into, gemv1_sq8_into,
+    gemv_f16_into, gemv_into, gemv_sq8_into, normalize_rows, scale_add,
 };
 pub use simd::{active_tier, available_tiers, detect_tier, force_tier, tier_supported, Tier};
 pub use sparse::{CsrMatrix, Triplet};

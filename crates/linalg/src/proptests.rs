@@ -253,6 +253,78 @@ proptest! {
     }
 
     #[test]
+    fn every_tier_dot_sq8_is_bitwise_equal_to_scalar(
+        len in lane_edge_len(),
+        seed in 0u64..u64::MAX,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let codes: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+        let b: Vec<f32> = (0..len).map(|_| rng.gen_range(-10.0f32..10.0)).collect();
+        let scale = rng.gen_range(0.0f32..0.1);
+        let offset = rng.gen_range(-5.0f32..5.0);
+        let reference = kernels::dot_sq8_with(Tier::Scalar, &codes, scale, offset, &b);
+        // The scalar tier itself must equal dequantize-then-dot.
+        let dequant: Vec<f32> = codes.iter().map(|&c| offset + scale * c as f32).collect();
+        prop_assert_eq!(
+            reference.to_bits(),
+            kernels::dot_with(Tier::Scalar, &dequant, &b).to_bits()
+        );
+        for tier in available_tiers() {
+            let got = kernels::dot_sq8_with(tier, &codes, scale, offset, &b);
+            prop_assert_eq!(
+                got.to_bits(), reference.to_bits(),
+                "dot_sq8 len {} tier {}", len, tier.name()
+            );
+        }
+        prop_assert_eq!(
+            kernels::dot_sq8(&codes, scale, offset, &b).to_bits(),
+            reference.to_bits()
+        );
+    }
+
+    #[test]
+    fn every_tier_gemv_sq8_is_bitwise_equal_to_scalar(
+        dim in lane_edge_len().prop_map(|l| l.max(1)),
+        n in 0usize..23,
+        seed in 0u64..u64::MAX,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let codes: Vec<u8> = (0..n * dim).map(|_| rng.gen()).collect();
+        let params: Vec<f32> = (0..n)
+            .flat_map(|_| [rng.gen_range(0.0f32..0.1), rng.gen_range(-5.0f32..5.0)])
+            .collect();
+        let q1: Vec<f32> = (0..dim).map(|_| rng.gen_range(-5.0f32..5.0)).collect();
+        let q2: Vec<f32> = (0..dim).map(|_| rng.gen_range(-5.0f32..5.0)).collect();
+        let queries: Vec<&[f32]> = vec![&q1, &q2];
+
+        let mut ref_single = vec![0.0f32; n];
+        kernels::gemv1_sq8_into_with(Tier::Scalar, &codes, dim, &params, &q1, &mut ref_single);
+        let mut ref_multi = vec![0.0f32; 2 * n];
+        kernels::gemv_sq8_into_with(Tier::Scalar, &codes, dim, &params, &queries, &mut ref_multi);
+
+        for tier in available_tiers() {
+            let mut single = vec![0.0f32; n];
+            kernels::gemv1_sq8_into_with(tier, &codes, dim, &params, &q1, &mut single);
+            let mut multi = vec![0.0f32; 2 * n];
+            kernels::gemv_sq8_into_with(tier, &codes, dim, &params, &queries, &mut multi);
+            for r in 0..n {
+                prop_assert_eq!(
+                    single[r].to_bits(), ref_single[r].to_bits(),
+                    "gemv1_sq8 dim {} n {} row {} tier {}", dim, n, r, tier.name()
+                );
+            }
+            for i in 0..2 * n {
+                prop_assert_eq!(
+                    multi[i].to_bits(), ref_multi[i].to_bits(),
+                    "gemv_sq8 dim {} n {} slot {} tier {}", dim, n, i, tier.name()
+                );
+            }
+        }
+    }
+
+    #[test]
     fn every_tier_gemv_is_bitwise_equal_to_scalar(
         dim in lane_edge_len().prop_map(|l| l.max(1)),
         n in 0usize..23, // sweeps the SIMD row-group remainders too

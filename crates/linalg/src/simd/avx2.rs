@@ -45,6 +45,17 @@ unsafe fn load_f16(p: *const u16) -> __m256 {
     _mm256_cvtph_ps(_mm_loadu_si128(p as *const __m128i))
 }
 
+/// Load and dequantize 8 f32 lanes from an SQ8-encoded row: widen the
+/// u8 codes in-register (`VPMOVZXBD` + `VCVTDQ2PS`, both exact for
+/// 0..=255), then `offset + scale * code` with separate multiply and
+/// add roundings — the scalar reference's exact dequant sequence.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn load_sq8(p: *const u8, scale: __m256, offset: __m256) -> __m256 {
+    let wide = _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(_mm_loadl_epi64(p as *const __m128i)));
+    _mm256_add_ps(offset, _mm256_mul_ps(scale, wide))
+}
+
 /// Canonical inner product.
 ///
 /// # Safety
@@ -86,6 +97,31 @@ pub(crate) unsafe fn dot_f16(a: &[u16], b: &[f32]) -> f32 {
     let mut tail = 0.0f32;
     for i in chunks * LANES..a.len() {
         tail += f32_from_f16(a[i]) * b[i];
+    }
+    reduce(acc, tail)
+}
+
+/// Canonical inner product over SQ8-encoded `codes` with the row's
+/// `(scale, offset)` dequant parameters.
+///
+/// # Safety
+/// Requires AVX2; `codes.len() == query.len()` must hold.
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn dot_sq8(codes: &[u8], scale: f32, offset: f32, query: &[f32]) -> f32 {
+    debug_assert_eq!(codes.len(), query.len());
+    let chunks = codes.len() / LANES;
+    let (pa, pb) = (codes.as_ptr(), query.as_ptr());
+    let sv = _mm256_set1_ps(scale);
+    let ov = _mm256_set1_ps(offset);
+    let mut acc = _mm256_setzero_ps();
+    for i in 0..chunks {
+        let va = load_sq8(pa.add(i * LANES), sv, ov);
+        let vb = _mm256_loadu_ps(pb.add(i * LANES));
+        acc = _mm256_add_ps(acc, _mm256_mul_ps(va, vb));
+    }
+    let mut tail = 0.0f32;
+    for i in chunks * LANES..codes.len() {
+        tail += (offset + scale * codes[i] as f32) * query[i];
     }
     reduce(acc, tail)
 }
@@ -187,6 +223,75 @@ pub(crate) unsafe fn gemv1_f16(rows: &[u16], dim: usize, query: &[f32], out: &mu
     }
     while r < n {
         out[r] = dot_f16(&rows[r * dim..(r + 1) * dim], query);
+        r += 1;
+    }
+}
+
+/// Single-query GEMV over SQ8 rows, four rows in flight, each row
+/// dequantized with its own broadcast `(scale, offset)` pair.
+///
+/// # Safety
+/// Requires AVX2; `codes.len() == out.len() * dim`,
+/// `params.len() == out.len() * 2`, and `query.len() == dim` must hold.
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn gemv1_sq8(
+    codes: &[u8],
+    dim: usize,
+    params: &[f32],
+    query: &[f32],
+    out: &mut [f32],
+) {
+    debug_assert_eq!(codes.len(), out.len() * dim);
+    debug_assert_eq!(params.len(), out.len() * 2);
+    debug_assert_eq!(query.len(), dim);
+    let n = out.len();
+    let chunks = dim / LANES;
+    let q = query.as_ptr();
+    let mut r = 0;
+    while r + ROW_GROUP <= n {
+        let p0 = codes.as_ptr().add(r * dim);
+        let (p1, p2, p3) = (p0.add(dim), p0.add(2 * dim), p0.add(3 * dim));
+        let (s0, o0) = (params[2 * r], params[2 * r + 1]);
+        let (s1, o1) = (params[2 * r + 2], params[2 * r + 3]);
+        let (s2, o2) = (params[2 * r + 4], params[2 * r + 5]);
+        let (s3, o3) = (params[2 * r + 6], params[2 * r + 7]);
+        let (sv0, ov0) = (_mm256_set1_ps(s0), _mm256_set1_ps(o0));
+        let (sv1, ov1) = (_mm256_set1_ps(s1), _mm256_set1_ps(o1));
+        let (sv2, ov2) = (_mm256_set1_ps(s2), _mm256_set1_ps(o2));
+        let (sv3, ov3) = (_mm256_set1_ps(s3), _mm256_set1_ps(o3));
+        let mut a0 = _mm256_setzero_ps();
+        let mut a1 = _mm256_setzero_ps();
+        let mut a2 = _mm256_setzero_ps();
+        let mut a3 = _mm256_setzero_ps();
+        for i in 0..chunks {
+            let off = i * LANES;
+            let qv = _mm256_loadu_ps(q.add(off));
+            a0 = _mm256_add_ps(a0, _mm256_mul_ps(load_sq8(p0.add(off), sv0, ov0), qv));
+            a1 = _mm256_add_ps(a1, _mm256_mul_ps(load_sq8(p1.add(off), sv1, ov1), qv));
+            a2 = _mm256_add_ps(a2, _mm256_mul_ps(load_sq8(p2.add(off), sv2, ov2), qv));
+            a3 = _mm256_add_ps(a3, _mm256_mul_ps(load_sq8(p3.add(off), sv3, ov3), qv));
+        }
+        let (mut t0, mut t1, mut t2, mut t3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+        for i in chunks * LANES..dim {
+            let qi = *q.add(i);
+            t0 += (o0 + s0 * *p0.add(i) as f32) * qi;
+            t1 += (o1 + s1 * *p1.add(i) as f32) * qi;
+            t2 += (o2 + s2 * *p2.add(i) as f32) * qi;
+            t3 += (o3 + s3 * *p3.add(i) as f32) * qi;
+        }
+        out[r] = reduce(a0, t0);
+        out[r + 1] = reduce(a1, t1);
+        out[r + 2] = reduce(a2, t2);
+        out[r + 3] = reduce(a3, t3);
+        r += ROW_GROUP;
+    }
+    while r < n {
+        out[r] = dot_sq8(
+            &codes[r * dim..(r + 1) * dim],
+            params[2 * r],
+            params[2 * r + 1],
+            query,
+        );
         r += 1;
     }
 }

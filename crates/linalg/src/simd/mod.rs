@@ -1,7 +1,7 @@
 //! Runtime-dispatched SIMD backends for the scoring kernels.
 //!
 //! Three tiers implement the same kernel set (`dot`, single/multi-query
-//! GEMV, and their f16-row variants):
+//! GEMV, and their f16- and sq8-row variants):
 //!
 //! * [`Tier::Scalar`] — the portable lane-unrolled reference (the
 //!   `scalar` submodule). This is the *bit-exactness reference*: the
@@ -270,6 +270,31 @@ pub(crate) fn dispatch_gemv1_f16(
     out: &mut [f32],
 ) {
     dispatch!(tier, gemv1_f16(rows, dim, query, out))
+}
+
+#[allow(unsafe_code)] // feature-checked dispatch: see the Safety note above.
+#[inline]
+pub(crate) fn dispatch_dot_sq8(
+    tier: Tier,
+    codes: &[u8],
+    scale: f32,
+    offset: f32,
+    b: &[f32],
+) -> f32 {
+    dispatch!(tier, dot_sq8(codes, scale, offset, b))
+}
+
+#[allow(unsafe_code)] // feature-checked dispatch: see the Safety note above.
+#[inline]
+pub(crate) fn dispatch_gemv1_sq8(
+    tier: Tier,
+    codes: &[u8],
+    dim: usize,
+    params: &[f32],
+    query: &[f32],
+    out: &mut [f32],
+) {
+    dispatch!(tier, gemv1_sq8(codes, dim, params, query, out))
 }
 
 #[cfg(test)]

@@ -45,6 +45,19 @@ fn widen_chunk(p: &[u16]) -> [f32; LANES] {
     buf
 }
 
+/// Dequantize one 8-lane chunk of SQ8 codes into a stack buffer:
+/// `offset + scale * code` with separate multiply and add roundings
+/// (the u8→f32 conversion is exact), matching the scalar reference's
+/// dequant sequence element for element.
+#[inline]
+fn dequant_chunk(p: &[u8], scale: f32, offset: f32) -> [f32; LANES] {
+    let mut buf = [0.0f32; LANES];
+    for (d, &c) in buf.iter_mut().zip(p) {
+        *d = offset + scale * c as f32;
+    }
+    buf
+}
+
 /// Canonical inner product.
 ///
 /// # Safety
@@ -101,6 +114,37 @@ pub(crate) unsafe fn dot_f16(a: &[u16], b: &[f32]) -> f32 {
     let mut tail = 0.0f32;
     for i in chunks * LANES..a.len() {
         tail += f32_from_f16(a[i]) * b[i];
+    }
+    reduce(lo, hi, tail)
+}
+
+/// Canonical inner product over SQ8-encoded `codes` with the row's
+/// `(scale, offset)` dequant parameters.
+///
+/// # Safety
+/// Requires NEON; `codes.len() == query.len()` must hold.
+#[target_feature(enable = "neon")]
+pub(crate) unsafe fn dot_sq8(codes: &[u8], scale: f32, offset: f32, query: &[f32]) -> f32 {
+    debug_assert_eq!(codes.len(), query.len());
+    let chunks = codes.len() / LANES;
+    let pb = query.as_ptr();
+    let mut lo = vdupq_n_f32(0.0);
+    let mut hi = vdupq_n_f32(0.0);
+    for i in 0..chunks {
+        let off = i * LANES;
+        let wide = dequant_chunk(&codes[off..off + LANES], scale, offset);
+        lo = vaddq_f32(
+            lo,
+            vmulq_f32(vld1q_f32(wide.as_ptr()), vld1q_f32(pb.add(off))),
+        );
+        hi = vaddq_f32(
+            hi,
+            vmulq_f32(vld1q_f32(wide.as_ptr().add(4)), vld1q_f32(pb.add(off + 4))),
+        );
+    }
+    let mut tail = 0.0f32;
+    for i in chunks * LANES..codes.len() {
+        tail += (offset + scale * codes[i] as f32) * query[i];
     }
     reduce(lo, hi, tail)
 }
@@ -197,6 +241,68 @@ pub(crate) unsafe fn gemv1_f16(rows: &[u16], dim: usize, query: &[f32], out: &mu
     }
     while r < n {
         out[r] = dot_f16(&rows[r * dim..(r + 1) * dim], query);
+        r += 1;
+    }
+}
+
+/// Single-query GEMV over SQ8 rows, two rows in flight, each row
+/// dequantized with its own `(scale, offset)` pair.
+///
+/// # Safety
+/// Requires NEON; `codes.len() == out.len() * dim`,
+/// `params.len() == out.len() * 2`, and `query.len() == dim` must hold.
+#[target_feature(enable = "neon")]
+pub(crate) unsafe fn gemv1_sq8(
+    codes: &[u8],
+    dim: usize,
+    params: &[f32],
+    query: &[f32],
+    out: &mut [f32],
+) {
+    debug_assert_eq!(codes.len(), out.len() * dim);
+    debug_assert_eq!(params.len(), out.len() * 2);
+    debug_assert_eq!(query.len(), dim);
+    let n = out.len();
+    let chunks = dim / LANES;
+    let q = query.as_ptr();
+    let mut r = 0;
+    while r + ROW_GROUP <= n {
+        let row0 = &codes[r * dim..(r + 1) * dim];
+        let row1 = &codes[(r + 1) * dim..(r + 2) * dim];
+        let (s0, o0) = (params[2 * r], params[2 * r + 1]);
+        let (s1, o1) = (params[2 * r + 2], params[2 * r + 3]);
+        let mut lo0 = vdupq_n_f32(0.0);
+        let mut hi0 = vdupq_n_f32(0.0);
+        let mut lo1 = vdupq_n_f32(0.0);
+        let mut hi1 = vdupq_n_f32(0.0);
+        for i in 0..chunks {
+            let off = i * LANES;
+            let qlo = vld1q_f32(q.add(off));
+            let qhi = vld1q_f32(q.add(off + 4));
+            let w0 = dequant_chunk(&row0[off..off + LANES], s0, o0);
+            let w1 = dequant_chunk(&row1[off..off + LANES], s1, o1);
+            lo0 = vaddq_f32(lo0, vmulq_f32(vld1q_f32(w0.as_ptr()), qlo));
+            hi0 = vaddq_f32(hi0, vmulq_f32(vld1q_f32(w0.as_ptr().add(4)), qhi));
+            lo1 = vaddq_f32(lo1, vmulq_f32(vld1q_f32(w1.as_ptr()), qlo));
+            hi1 = vaddq_f32(hi1, vmulq_f32(vld1q_f32(w1.as_ptr().add(4)), qhi));
+        }
+        let (mut t0, mut t1) = (0.0f32, 0.0f32);
+        for i in chunks * LANES..dim {
+            let qi = *q.add(i);
+            t0 += (o0 + s0 * row0[i] as f32) * qi;
+            t1 += (o1 + s1 * row1[i] as f32) * qi;
+        }
+        out[r] = reduce(lo0, hi0, t0);
+        out[r + 1] = reduce(lo1, hi1, t1);
+        r += ROW_GROUP;
+    }
+    while r < n {
+        out[r] = dot_sq8(
+            &codes[r * dim..(r + 1) * dim],
+            params[2 * r],
+            params[2 * r + 1],
+            query,
+        );
         r += 1;
     }
 }

@@ -55,6 +55,29 @@ pub(crate) fn dot_f16(a: &[u16], b: &[f32]) -> f32 {
     combine(acc, tail)
 }
 
+/// Canonical inner product over an SQ8-encoded left operand: each
+/// stored u8 code is dequantized as `offset + scale * code` (two
+/// separate roundings — the u8→f32 conversion itself is exact) before
+/// the multiply, and accumulation is pure `f32` in the same order as
+/// [`dot`]. Contract: bit-identical to dequantizing the row into an
+/// `f32` buffer and calling [`dot`].
+pub(crate) fn dot_sq8(codes: &[u8], scale: f32, offset: f32, query: &[f32]) -> f32 {
+    debug_assert_eq!(codes.len(), query.len());
+    let mut acc = [0.0f32; LANES];
+    let mut ca = codes.chunks_exact(LANES);
+    let mut cb = query.chunks_exact(LANES);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        for l in 0..LANES {
+            acc[l] += (offset + scale * xa[l] as f32) * xb[l];
+        }
+    }
+    let mut tail = 0.0f32;
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        tail += (offset + scale * *x as f32) * y;
+    }
+    combine(acc, tail)
+}
+
 /// Single-query GEMV: `out[r] = rows[r] · query`, each score by
 /// [`dot`].
 pub(crate) fn gemv1(rows: &[f32], dim: usize, query: &[f32], out: &mut [f32]) {
@@ -69,5 +92,15 @@ pub(crate) fn gemv1_f16(rows: &[u16], dim: usize, query: &[f32], out: &mut [f32]
     debug_assert_eq!(rows.len(), out.len() * dim);
     for (o, row) in out.iter_mut().zip(rows.chunks_exact(dim)) {
         *o = dot_f16(row, query);
+    }
+}
+
+/// Single-query GEMV over SQ8 rows, each score by [`dot_sq8`] with the
+/// row's own `(scale, offset)` pair (`params[2r]`, `params[2r + 1]`).
+pub(crate) fn gemv1_sq8(codes: &[u8], dim: usize, params: &[f32], query: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(codes.len(), out.len() * dim);
+    debug_assert_eq!(params.len(), out.len() * 2);
+    for (r, (o, row)) in out.iter_mut().zip(codes.chunks_exact(dim)).enumerate() {
+        *o = dot_sq8(row, params[2 * r], params[2 * r + 1], query);
     }
 }

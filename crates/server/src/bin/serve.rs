@@ -1,9 +1,14 @@
 //! Stand-alone demo server: generate a synthetic dataset, preprocess
-//! it, and serve the line protocol on a fixed port until killed.
+//! it (or cold-start from a saved index file), and serve the line
+//! protocol on a fixed port until killed.
 //!
 //! ```sh
 //! cargo run --release --bin serve            # 127.0.0.1:7878
 //! SEESAW_ADDR=0.0.0.0:9000 cargo run --release --bin serve
+//!
+//! # First run preprocesses and saves the index; every later run
+//! # mmaps it back in milliseconds instead of rebuilding:
+//! cargo run --release --bin serve -- --index /tmp/seesaw.ssawidx
 //! ```
 //!
 //! Then speak one JSON line per request, e.g. with netcat:
@@ -16,20 +21,62 @@
 //! {"type":"batch","images":[5,12]}
 //! ```
 
-use seesaw_core::{PreprocessConfig, Preprocessor, SearchService};
+use seesaw_core::{load_index, save_index, PreprocessConfig, Preprocessor, SearchService};
 use seesaw_dataset::DatasetSpec;
 use seesaw_server::{Server, ServerConfig};
+use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Instant;
 
 fn main() {
     let addr = std::env::var("SEESAW_ADDR").unwrap_or_else(|_| "127.0.0.1:7878".to_string());
+    let args: Vec<String> = std::env::args().collect();
+    let index_path: Option<PathBuf> = args
+        .windows(2)
+        .find(|w| w[0] == "--index")
+        .map(|w| PathBuf::from(&w[1]))
+        .or_else(|| std::env::var("SEESAW_INDEX").ok().map(PathBuf::from));
+
+    // The synthetic dataset itself (image metadata, concept vocabulary)
+    // is cheap to regenerate and deterministic; the expensive part —
+    // tiling, embedding, store construction — is what the index file
+    // caches.
     eprintln!("[serve] generating synthetic dataset…");
     let dataset = Arc::new(
         DatasetSpec::coco_like(0.002)
             .with_max_queries(16)
             .generate(7),
     );
-    let index = Preprocessor::new(PreprocessConfig::fast()).build(&dataset);
+    let cfg = PreprocessConfig::fast();
+
+    let index = match &index_path {
+        Some(path) if path.exists() => {
+            let t0 = Instant::now();
+            let index = load_index(path, &cfg)
+                .unwrap_or_else(|e| panic!("loading index {}: {e}", path.display()));
+            eprintln!(
+                "[serve] cold-started from {} in {:.1} ms (rows mmapped zero-copy)",
+                path.display(),
+                t0.elapsed().as_secs_f64() * 1e3
+            );
+            index
+        }
+        _ => {
+            let t0 = Instant::now();
+            let index = Preprocessor::new(cfg.clone()).build(&dataset);
+            eprintln!(
+                "[serve] preprocessed in {:.1} ms",
+                t0.elapsed().as_secs_f64() * 1e3
+            );
+            if let Some(path) = &index_path {
+                save_index(&index, path)
+                    .unwrap_or_else(|e| panic!("saving index {}: {e}", path.display()));
+                eprintln!("[serve] saved index to {}", path.display());
+            }
+            index
+        }
+    };
+
     let service = Arc::new(SearchService::new(index, Arc::clone(&dataset)));
     eprintln!(
         "[serve] {} images, {} patch vectors, concepts 0..{}",

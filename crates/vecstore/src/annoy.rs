@@ -113,6 +113,18 @@ impl RpForest {
         self.trees.len()
     }
 
+    /// Borrow the raw row-major data buffer (the persistence layer
+    /// serializes it; the forest itself rebuilds deterministically from
+    /// data + config).
+    pub fn raw_data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// The build configuration.
+    pub fn config(&self) -> &RpForestConfig {
+        &self.config
+    }
+
     /// Top-`k` with an explicit `search_k` override (larger = more
     /// accurate, slower).
     pub fn top_k_with_search_k(

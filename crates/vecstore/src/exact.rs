@@ -5,7 +5,7 @@
 //! accuracy metrics in our benchmarks using Annoy vs an exact but slow
 //! scan" (§2.2); our integration tests quantify the same comparison.
 
-use crate::{Hit, KeepFn, RowPrecision, RowStorage, TopKSelector, VectorStore};
+use crate::{Hit, KeepFn, RowPrecision, RowStorage, TopKSelector, VectorStore, SQ8_RERANK_FACTOR};
 
 /// Rows scored per block. The kernel re-blocks internally for cache
 /// residency; this only bounds the per-call score scratch.
@@ -13,10 +13,12 @@ const SCAN_BLOCK: usize = 64;
 
 /// A dense, row-major collection of vectors scanned exhaustively.
 ///
-/// Rows live in a [`RowStorage`] buffer: plain `f32` by default, or
-/// the half-precision tier ([`RowPrecision::F16`], via
-/// [`ExactStore::with_precision`]) which halves scan bandwidth while
-/// keeping f32 accumulation — see the `storage` module docs for the
+/// Rows live in a [`RowStorage`] buffer: plain `f32` by default, the
+/// half-precision tier ([`RowPrecision::F16`]) which halves scan
+/// bandwidth while keeping f32 accumulation, or the scalar-quantized
+/// tier ([`RowPrecision::Sq8`]) which scans 1 B/element codes and
+/// exactly re-ranks the top `k ×` [`SQ8_RERANK_FACTOR`] candidates
+/// against the f32 source rows — see the `storage` module docs for the
 /// precision semantics.
 #[derive(Clone, Debug)]
 pub struct ExactStore {
@@ -43,8 +45,26 @@ impl ExactStore {
         assert_eq!(data.len() % dim, 0, "buffer is not a multiple of dim");
         Self {
             dim,
-            rows: RowStorage::encode(precision, data),
+            rows: RowStorage::encode(precision, dim, data),
         }
+    }
+
+    /// Wrap an already-encoded [`RowStorage`] buffer — the zero-copy
+    /// entry point used by `crate::diskindex` to serve mmapped rows
+    /// without materializing them in RAM.
+    ///
+    /// # Panics
+    /// Panics when the buffer is not a multiple of `dim`.
+    pub fn from_storage(dim: usize, rows: RowStorage) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert_eq!(rows.len() % dim, 0, "buffer is not a multiple of dim");
+        Self { dim, rows }
+    }
+
+    /// Borrow the underlying row storage (the persistence layer
+    /// serializes it).
+    pub fn rows(&self) -> &RowStorage {
+        &self.rows
     }
 
     /// The row-storage precision.
@@ -52,11 +72,36 @@ impl ExactStore {
         self.rows.precision()
     }
 
+    /// The candidate-pool size the scan selects before re-ranking:
+    /// `k × SQ8_RERANK_FACTOR` for the quantized tier, `k` (no rerank
+    /// pass) for the exact-scoring tiers.
+    fn pool_k(&self, k: usize) -> usize {
+        match self.rows.precision() {
+            RowPrecision::Sq8 => k.saturating_mul(SQ8_RERANK_FACTOR),
+            _ => k,
+        }
+    }
+
+    /// Collapse a scanned candidate pool to the final top-`k`. For the
+    /// exact-scoring tiers the pool *is* the answer; for SQ8 each
+    /// candidate is re-scored exactly against its f32 source row, so
+    /// final scores are true inner products.
+    fn rerank(&self, query: &[f32], k: usize, pool: Vec<Hit>) -> Vec<Hit> {
+        if self.rows.precision() != RowPrecision::Sq8 {
+            return pool;
+        }
+        let mut sel = TopKSelector::new(k);
+        for h in pool {
+            sel.insert(h.id, self.rows.rerank_dot_row(self.dim, h.id, query));
+        }
+        sel.into_sorted_hits()
+    }
+
     /// Borrow vector `id`. Only available with `f32` row storage; use
     /// [`ExactStore::row_into`] to read rows independent of precision.
     ///
     /// # Panics
-    /// Panics when the store uses f16 row storage.
+    /// Panics when the store uses a compressed row tier.
     #[inline]
     pub fn vector(&self, id: u32) -> &[f32] {
         let data = self
@@ -80,7 +125,7 @@ impl ExactStore {
     /// `f32` row storage (see [`ExactStore::vector`]).
     ///
     /// # Panics
-    /// Panics when the store uses f16 row storage.
+    /// Panics when the store uses a compressed row tier.
     pub fn iter(&self) -> impl Iterator<Item = (u32, &[f32])> {
         let data = self
             .rows
@@ -112,7 +157,7 @@ impl VectorStore for ExactStore {
         // beats both sorting the whole score vector and the historical
         // per-candidate sorted insert.
         let n = self.len();
-        let mut sel = TopKSelector::new(k);
+        let mut sel = TopKSelector::new(self.pool_k(k));
         let mut scores = [0.0f32; SCAN_BLOCK];
         let mut id = 0u32;
         for start in (0..n).step_by(SCAN_BLOCK) {
@@ -127,7 +172,7 @@ impl VectorStore for ExactStore {
                 id += 1;
             }
         }
-        sel.into_sorted_hits()
+        self.rerank(query, k, sel.into_sorted_hits())
     }
 
     fn top_k_many(
@@ -152,7 +197,8 @@ impl VectorStore for ExactStore {
         // queries while cache resident, and `keep` runs once per row
         // for the whole batch.
         let n = self.len();
-        let mut sels: Vec<TopKSelector> = (0..nq).map(|_| TopKSelector::new(k)).collect();
+        let pool_k = self.pool_k(k);
+        let mut sels: Vec<TopKSelector> = (0..nq).map(|_| TopKSelector::new(pool_k)).collect();
         let mut scores = vec![0.0f32; nq * SCAN_BLOCK];
         let mut kept = [false; SCAN_BLOCK];
         let mut base = 0u32;
@@ -175,7 +221,8 @@ impl VectorStore for ExactStore {
             base += rows as u32;
         }
         sels.into_iter()
-            .map(TopKSelector::into_sorted_hits)
+            .zip(queries)
+            .map(|(sel, q)| self.rerank(q, k, sel.into_sorted_hits()))
             .collect()
     }
 }

@@ -20,7 +20,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use seesaw_linalg::{add_scaled, dot, normalize_rows, scale};
 
-use crate::{Hit, KeepFn, RowPrecision, RowStorage, TopKSelector, VectorStore};
+use crate::{Hit, KeepFn, RowPrecision, RowStorage, TopKSelector, VectorStore, SQ8_RERANK_FACTOR};
 
 /// Build-time configuration for [`IvfStore`].
 #[derive(Clone, Debug)]
@@ -180,11 +180,68 @@ impl IvfStore {
 
         Self {
             dim,
-            rows: RowStorage::encode(precision, data),
+            rows: RowStorage::encode(precision, dim, data),
             centroids,
             lists,
             config,
         }
+    }
+
+    /// Reassemble a store from already-built parts — the zero-copy
+    /// entry point used by `crate::diskindex` to serve mmapped rows
+    /// without retraining the quantizer. The caller is responsible for
+    /// `lists` referencing valid row ids; shapes are asserted.
+    ///
+    /// # Panics
+    /// Panics when the row buffer or centroid buffer is not a multiple
+    /// of `dim`.
+    pub fn from_parts(
+        dim: usize,
+        rows: RowStorage,
+        centroids: Vec<f32>,
+        lists: Vec<Vec<u32>>,
+        config: IvfConfig,
+    ) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert_eq!(rows.len() % dim, 0, "buffer is not a multiple of dim");
+        assert_eq!(
+            centroids.len() % dim,
+            0,
+            "centroid buffer is not a multiple of dim"
+        );
+        assert_eq!(
+            centroids.len() / dim,
+            lists.len(),
+            "centroid count does not match list count"
+        );
+        Self {
+            dim,
+            rows,
+            centroids,
+            lists,
+            config,
+        }
+    }
+
+    /// Borrow the underlying row storage (the persistence layer
+    /// serializes it).
+    pub fn rows(&self) -> &RowStorage {
+        &self.rows
+    }
+
+    /// The trained centroid matrix (`n_lists × dim`, row-major).
+    pub fn centroids(&self) -> &[f32] {
+        &self.centroids
+    }
+
+    /// The inverted lists (row ids bucketed by centroid).
+    pub fn lists(&self) -> &[Vec<u32>] {
+        &self.lists
+    }
+
+    /// The build configuration.
+    pub fn config(&self) -> &IvfConfig {
+        &self.config
     }
 
     /// The row-storage precision.
@@ -192,11 +249,34 @@ impl IvfStore {
         self.rows.precision()
     }
 
+    /// The candidate-pool size gathered before re-ranking:
+    /// `k × SQ8_RERANK_FACTOR` for the quantized tier, `k` otherwise.
+    fn pool_k(&self, k: usize) -> usize {
+        match self.rows.precision() {
+            RowPrecision::Sq8 => k.saturating_mul(SQ8_RERANK_FACTOR),
+            _ => k,
+        }
+    }
+
+    /// Collapse a probed candidate pool to the final top-`k` (exact
+    /// re-scoring for SQ8, identity otherwise) — see
+    /// `ExactStore::rerank` for the contract.
+    fn rerank(&self, query: &[f32], k: usize, pool: Vec<Hit>) -> Vec<Hit> {
+        if self.rows.precision() != RowPrecision::Sq8 {
+            return pool;
+        }
+        let mut sel = TopKSelector::new(k);
+        for h in pool {
+            sel.insert(h.id, self.rows.rerank_dot_row(self.dim, h.id, query));
+        }
+        sel.into_sorted_hits()
+    }
+
     /// Borrow vector `id`. Only available with `f32` row storage; use
     /// [`IvfStore::row_into`] to read rows independent of precision.
     ///
     /// # Panics
-    /// Panics when the store uses f16 row storage.
+    /// Panics when the store uses a compressed row tier.
     #[inline]
     pub fn vector(&self, id: u32) -> &[f32] {
         let data = self
@@ -282,7 +362,7 @@ impl IvfStore {
             return Vec::new();
         }
         let need = min_candidates.max(k);
-        let mut sel = TopKSelector::new(k);
+        let mut sel = TopKSelector::new(self.pool_k(k));
         for c in self.probe_prefix(query, min_lists, need) {
             for &id in &self.lists[c] {
                 if !keep(id) {
@@ -291,7 +371,7 @@ impl IvfStore {
                 sel.insert(id, self.rows.dot_row(self.dim, id, query));
             }
         }
-        sel.into_sorted_hits()
+        self.rerank(query, k, sel.into_sorted_hits())
     }
 }
 
@@ -345,7 +425,8 @@ impl VectorStore for IvfStore {
                 probing[c].push(qi as u32);
             }
         }
-        let mut sels: Vec<TopKSelector> = (0..nq).map(|_| TopKSelector::new(k)).collect();
+        let pool_k = self.pool_k(k);
+        let mut sels: Vec<TopKSelector> = (0..nq).map(|_| TopKSelector::new(pool_k)).collect();
         // The gather scratch matches the store's row precision, so the
         // batched path never transcodes: f16 lists gather as raw u16
         // rows and score through the f16 kernel.
@@ -386,7 +467,8 @@ impl VectorStore for IvfStore {
             }
         }
         sels.into_iter()
-            .map(TopKSelector::into_sorted_hits)
+            .zip(queries)
+            .map(|(sel, q)| self.rerank(q, k, sel.into_sorted_hits()))
             .collect()
     }
 }

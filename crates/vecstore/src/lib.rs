@@ -25,11 +25,20 @@
 //! of hardcoding one.
 //!
 //! [`ExactStore`] and [`IvfStore`] keep their rows in a [`RowStorage`]
-//! buffer: plain `f32` (default) or IEEE binary16
-//! ([`RowPrecision::F16`]) which halves scan bandwidth, rounds each
-//! row once at build time, and accumulates in f32 — see the `storage`
-//! module docs for the precision semantics and the per-precision
-//! bit-identity guarantees.
+//! buffer: plain `f32` (default), IEEE binary16 ([`RowPrecision::F16`])
+//! which halves scan bandwidth, or scalar-quantized u8
+//! ([`RowPrecision::Sq8`]) which quarters it and exactly re-ranks the
+//! top `k ×` [`SQ8_RERANK_FACTOR`] candidates against the retained f32
+//! source rows — see the `storage` module docs for the precision
+//! semantics and the per-precision bit-identity guarantees.
+//!
+//! The [`diskindex`] module persists any [`AnyStore`] to a versioned,
+//! checksummed, section-aligned on-disk format and loads it back with
+//! a zero-copy `mmap(2)` of the row payloads ([`save_store`] /
+//! [`load_store`]), so a cold start costs milliseconds instead of a
+//! rebuild: the dense tiers map their row buffers straight out of the
+//! file, and loaded stores answer queries bit-identically to the
+//! in-RAM stores they were saved from.
 //!
 //! Every backend implements [`VectorStore`], which is object-safe and
 //! `Send + Sync`, and all support filtered queries so the engine can
@@ -72,6 +81,7 @@
 
 pub mod annoy;
 pub mod config;
+pub mod diskindex;
 pub mod exact;
 pub mod ivf;
 #[cfg(test)]
@@ -84,11 +94,15 @@ use std::collections::BinaryHeap;
 
 pub use annoy::{RpForest, RpForestConfig};
 pub use config::{AnyStore, StoreConfig};
+pub use diskindex::{
+    encode_store, fnv1a64, load_store, save_store, store_from_file, DiskIndexError, IndexFile,
+    IndexFileBuilder, MappedSlice, Mmap,
+};
 pub use exact::ExactStore;
 pub use ivf::{IvfConfig, IvfStore};
 pub use recall::recall_at_k;
 pub use sharded::{merge_hits, ShardedStore};
-pub use storage::{RowPrecision, RowStorage};
+pub use storage::{Buf, RowPrecision, RowStorage, Sq8Rows, SQ8_RERANK_FACTOR};
 
 /// A scored hit: item id plus its inner product with the query.
 #[derive(Clone, Copy, Debug, PartialEq)]

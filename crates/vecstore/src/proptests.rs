@@ -79,12 +79,37 @@ fn all_backends(dim: usize, data: &[f32]) -> Vec<(&'static str, Box<dyn VectorSt
                 ExactStore::with_precision(d, buf, RowPrecision::F16)
             })),
         ),
+        (
+            "exact-sq8",
+            Box::new(ExactStore::with_precision(
+                dim,
+                data.to_vec(),
+                RowPrecision::Sq8,
+            )),
+        ),
+        (
+            "ivf-sq8",
+            Box::new(IvfStore::build_with_precision(
+                dim,
+                data.to_vec(),
+                IvfConfig::default(),
+                RowPrecision::Sq8,
+            )),
+        ),
+        (
+            "sharded-exact-sq8",
+            Box::new(ShardedStore::build(dim, data.to_vec(), 3, |d, buf| {
+                ExactStore::with_precision(d, buf, RowPrecision::Sq8)
+            })),
+        ),
     ]
 }
 
 /// Score tolerance against the full-precision inner product: f16 rows
-/// round once at encode time (≤ 2⁻¹¹ relative per element), f32 rows
-/// are exact.
+/// round once at encode time (≤ 2⁻¹¹ relative per element); f32 rows
+/// are exact; sq8 *final* scores are exact too — quantized scores only
+/// rank the rerank pool, and re-ranking re-scores against the f32
+/// source rows.
 fn score_tolerance(name: &str) -> f32 {
     if name.ends_with("f16") {
         4e-3

@@ -114,6 +114,13 @@ impl<S: VectorStore> ShardedStore<S> {
         &self.shards[s].ids
     }
 
+    /// Borrow shard `s`'s backend store (the persistence layer reads
+    /// rows back out of it; local row `i` is global id
+    /// `shard_ids(s)[i]`).
+    pub(crate) fn shard_store(&self, s: usize) -> &S {
+        &self.shards[s].store
+    }
+
     /// Query every shard (in parallel when there is more than one),
     /// remap local ids to global, and merge. A candidate budget is
     /// *divided* across shards (floored at `k`) so the sharded query

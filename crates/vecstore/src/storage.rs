@@ -17,17 +17,102 @@
 //!   reproducible across SIMD tiers, and within ~2⁻¹¹ relative error
 //!   of the f32 scores for unit-norm embeddings, which the recall
 //!   floors in `tests/store_equivalence.rs` pin end to end.
+//! * [`RowPrecision::Sq8`] — scalar-quantized rows: one `u8` code per
+//!   element plus a per-row `(scale, offset)` pair, so the hot scan
+//!   moves **1 B/element** (+8 B/row of parameters — ≈1.016 B/element
+//!   at dim 512), a 4× bandwidth cut over f32. Codes dequantize on
+//!   the fly inside the kernel (`offset + scale · code`, exact u8→f32
+//!   widening, f32 accumulation). Quantized scores rank a candidate
+//!   pool of `k × `[`SQ8_RERANK_FACTOR`] rows, which the stores then
+//!   re-rank **exactly** against the retained f32 source rows — so
+//!   final scores are true f32 inner products and recall@10 stays
+//!   ≥ 0.90 (pinned in `tests/store_equivalence.rs`). The source rows
+//!   sit outside the scan loop (ideally in an mmapped index section,
+//!   see `crate::diskindex`) and are touched only for the tiny rerank
+//!   pool.
 //!
 //! Every scoring path funnels through the canonical kernels
 //! (`seesaw_linalg::kernels`), so the cross-backend bit-identity
 //! guarantees (sharded ≡ unsharded, batched ≡ sequential) hold *per
 //! precision*: an f16 sharded store is bit-identical to the f16
-//! unsharded store, just not to the f32 one.
+//! unsharded store, just not to the f32 one. (SQ8 is the one partial
+//! exception: per-shard rerank pools are computed per shard, so a
+//! *sharded* sq8 store may retain a more generous candidate pool than
+//! the unsharded scan — same semantics as the per-shard probing
+//! budget — while mmap-loaded stores remain bit-identical to the
+//! in-RAM stores they were saved from.)
+//!
+//! Buffers are [`Buf`]s: either owned `Vec`s (built in RAM) or
+//! zero-copy [`MappedSlice`] views into an mmapped index file. The
+//! scoring paths see `&[T]` either way.
 
+use crate::diskindex::MappedSlice;
 use seesaw_linalg::{
-    dot, dot_f16, encode_f16, f32_from_f16, gemv1_f16_into, gemv1_into, gemv_f16_into, gemv_into,
+    dot, dot_f16, dot_sq8, encode_f16, f32_from_f16, gemv1_f16_into, gemv1_into, gemv1_sq8_into,
+    gemv_f16_into, gemv_into, gemv_sq8_into,
 };
-use std::ops::Range;
+use std::ops::{Deref, Range};
+
+/// How many quantized candidates the SQ8 tier retains per requested
+/// hit before exact re-ranking: a top-`k` query scans with `u8` codes
+/// into a pool of `k × 4`, then re-scores that pool against the f32
+/// source rows. Generous enough that quantization error almost never
+/// evicts a true top-k row from the pool, small enough that rerank
+/// cost stays negligible next to the scan.
+pub const SQ8_RERANK_FACTOR: usize = 4;
+
+/// A storage buffer that is either owned or a zero-copy view into an
+/// mmapped index file. Dereferences to `&[T]` either way; mutation
+/// (the gather-scratch paths) is only possible on owned buffers.
+#[derive(Clone, Debug)]
+pub enum Buf<T> {
+    /// Heap-allocated, mutable (the build-in-RAM representation).
+    Owned(Vec<T>),
+    /// Borrowed from an mmapped file (`crate::diskindex`), read-only.
+    Mapped(MappedSlice<T>),
+}
+
+impl<T: crate::diskindex::Pod> Deref for Buf<T> {
+    type Target = [T];
+    #[inline]
+    fn deref(&self) -> &[T] {
+        match self {
+            Buf::Owned(v) => v,
+            Buf::Mapped(m) => m.as_slice(),
+        }
+    }
+}
+
+impl<T> From<Vec<T>> for Buf<T> {
+    fn from(v: Vec<T>) -> Self {
+        Buf::Owned(v)
+    }
+}
+
+impl<T> From<MappedSlice<T>> for Buf<T> {
+    fn from(m: MappedSlice<T>) -> Self {
+        Buf::Mapped(m)
+    }
+}
+
+impl<T> Buf<T> {
+    /// Whether this buffer is a mapped (zero-copy) view.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self, Buf::Mapped(_))
+    }
+
+    /// Mutable access to the owned vector.
+    ///
+    /// # Panics
+    /// Panics on a mapped buffer — gather scratch is always owned.
+    #[inline]
+    fn as_mut_vec(&mut self) -> &mut Vec<T> {
+        match self {
+            Buf::Owned(v) => v,
+            Buf::Mapped(_) => panic!("cannot mutate mmap-backed row storage"),
+        }
+    }
+}
 
 /// Precision of a store's row buffer. Selected via
 /// [`crate::StoreConfig`]; defaults to [`RowPrecision::F32`].
@@ -38,14 +123,19 @@ pub enum RowPrecision {
     F32,
     /// 2 B/element IEEE binary16 storage with f32 accumulation.
     F16,
+    /// 1 B/element scalar-quantized storage (per-row min/max affine
+    /// codes) with exact f32 re-ranking of the top candidates.
+    Sq8,
 }
 
 impl RowPrecision {
-    /// Stable lowercase label (`f32` / `f16`) for tables and configs.
+    /// Stable lowercase label (`f32` / `f16` / `sq8`) for tables and
+    /// configs.
     pub fn name(self) -> &'static str {
         match self {
             RowPrecision::F32 => "f32",
             RowPrecision::F16 => "f16",
+            RowPrecision::Sq8 => "sq8",
         }
     }
 
@@ -54,17 +144,109 @@ impl RowPrecision {
         match s.trim().to_ascii_lowercase().as_str() {
             "f32" => Some(RowPrecision::F32),
             "f16" | "half" => Some(RowPrecision::F16),
+            "sq8" | "int8" | "u8" => Some(RowPrecision::Sq8),
             _ => None,
         }
     }
 
-    /// Bytes one element occupies in memory.
+    /// Bytes one element moves on the scan hot path. For SQ8 this is
+    /// the code byte; the 8 B/row parameter pair and the f32 source
+    /// rows (touched only for the rerank pool) are excluded.
     pub fn bytes_per_element(self) -> usize {
         match self {
             RowPrecision::F32 => 4,
             RowPrecision::F16 => 2,
+            RowPrecision::Sq8 => 1,
         }
     }
+}
+
+/// The SQ8 row set: `u8` codes, per-row `(scale, offset)` parameter
+/// pairs, and the exact f32 source rows used for re-ranking.
+///
+/// The affine map is per row: element `j` of row `r` dequantizes as
+/// `params[2r+1] + params[2r] · code`. Encoding picks `offset = min`,
+/// `scale = (max − min)/255` over the row (rounding each element to
+/// the nearest code), so codes span the full `0..=255` range whatever
+/// the row's dynamic range. Degenerate rows (constant, empty, or
+/// non-finite) get `scale = 0` and all-zero codes.
+#[derive(Clone, Debug)]
+pub struct Sq8Rows {
+    codes: Buf<u8>,
+    /// `(scale, offset)` interleaved, two `f32`s per row.
+    params: Buf<f32>,
+    /// Exact f32 source rows, row-major — the rerank tier. Gather
+    /// scratch built by [`RowStorage::empty_like`] leaves this empty:
+    /// rerank always reads the *primary* storage by global id.
+    source: Buf<f32>,
+}
+
+impl Sq8Rows {
+    /// Assemble from pre-built parts (the mmap loader).
+    pub fn from_parts(codes: Buf<u8>, params: Buf<f32>, source: Buf<f32>) -> Self {
+        Self {
+            codes,
+            params,
+            source,
+        }
+    }
+
+    /// The `u8` code matrix (row-major).
+    pub fn codes(&self) -> &[u8] {
+        &self.codes
+    }
+
+    /// Interleaved per-row `(scale, offset)` pairs.
+    pub fn params(&self) -> &[f32] {
+        &self.params
+    }
+
+    /// Exact f32 source rows (row-major).
+    pub fn source(&self) -> &[f32] {
+        &self.source
+    }
+
+    /// Whether every buffer is an mmap-backed view.
+    pub fn is_mapped(&self) -> bool {
+        self.codes.is_mapped() && self.params.is_mapped() && self.source.is_mapped()
+    }
+}
+
+/// Encode one row-major buffer as SQ8 codes + params.
+fn encode_sq8(dim: usize, data: &[f32]) -> (Vec<u8>, Vec<f32>) {
+    debug_assert!(dim > 0 || data.is_empty());
+    let mut codes = vec![0u8; data.len()];
+    let n = data.len().checked_div(dim).unwrap_or(0);
+    let mut params = Vec::with_capacity(2 * n);
+    for (chunk, out) in data.chunks_exact(dim).zip(codes.chunks_exact_mut(dim)) {
+        let mut min = f32::INFINITY;
+        let mut max = f32::NEG_INFINITY;
+        for &v in chunk {
+            // f32::min/max drop NaN operands, so NaN elements simply
+            // don't contribute to the range.
+            min = min.min(v);
+            max = max.max(v);
+        }
+        let (scale, offset) = if min.is_finite() && max.is_finite() && max > min {
+            ((max - min) / 255.0, min)
+        } else {
+            // Constant, empty, or non-finite row: code everything as 0
+            // and dequantize to the offset (the constant value when
+            // there is one, else 0).
+            (0.0, if min.is_finite() { min } else { 0.0 })
+        };
+        if scale > 0.0 {
+            let inv = 1.0 / scale;
+            for (c, &v) in out.iter_mut().zip(chunk) {
+                // `as` saturates (and maps NaN to 0), so codes always
+                // land in 0..=255 even at the rounding boundaries.
+                *c = ((v - offset) * inv).round() as u8;
+            }
+        }
+        params.push(scale);
+        params.push(offset);
+    }
+    (codes, params)
 }
 
 /// A row-major vector buffer in one of the supported precisions, with
@@ -74,19 +256,43 @@ impl RowPrecision {
 #[derive(Clone, Debug)]
 pub enum RowStorage {
     /// Plain `f32` rows.
-    F32(Vec<f32>),
+    F32(Buf<f32>),
     /// IEEE binary16 bit patterns (`seesaw_linalg::half` encoding).
-    F16(Vec<u16>),
+    F16(Buf<u16>),
+    /// Scalar-quantized rows plus the exact rerank source.
+    Sq8(Sq8Rows),
 }
 
 impl RowStorage {
     /// Encode a row-major `f32` buffer at the requested precision.
     /// `F32` takes ownership without copying; `F16` rounds each element
-    /// to the nearest half (ties to even).
-    pub fn encode(precision: RowPrecision, data: Vec<f32>) -> Self {
+    /// to the nearest half (ties to even); `Sq8` derives per-row
+    /// affine codes and keeps `data` as the exact rerank source.
+    ///
+    /// # Panics
+    /// Panics when the buffer is not a multiple of `dim` (SQ8 needs
+    /// row boundaries; the callers all validate this anyway).
+    pub fn encode(precision: RowPrecision, dim: usize, data: Vec<f32>) -> Self {
         match precision {
-            RowPrecision::F32 => RowStorage::F32(data),
-            RowPrecision::F16 => RowStorage::F16(encode_f16(&data)),
+            RowPrecision::F32 => RowStorage::F32(data.into()),
+            RowPrecision::F16 => RowStorage::F16(encode_f16(&data).into()),
+            RowPrecision::Sq8 => {
+                assert!(
+                    dim > 0 || data.is_empty(),
+                    "sq8 encoding needs a positive dim"
+                );
+                assert_eq!(
+                    if dim == 0 { 0 } else { data.len() % dim },
+                    0,
+                    "buffer is not a multiple of dim"
+                );
+                let (codes, params) = encode_sq8(dim, &data);
+                RowStorage::Sq8(Sq8Rows {
+                    codes: codes.into(),
+                    params: params.into(),
+                    source: data.into(),
+                })
+            }
         }
     }
 
@@ -95,6 +301,7 @@ impl RowStorage {
         match self {
             RowStorage::F32(_) => RowPrecision::F32,
             RowStorage::F16(_) => RowPrecision::F16,
+            RowStorage::Sq8(_) => RowPrecision::Sq8,
         }
     }
 
@@ -103,6 +310,7 @@ impl RowStorage {
         match self {
             RowStorage::F32(d) => d.len(),
             RowStorage::F16(d) => d.len(),
+            RowStorage::Sq8(q) => q.codes.len(),
         }
     }
 
@@ -111,39 +319,93 @@ impl RowStorage {
         self.len() == 0
     }
 
-    /// An empty buffer of the same precision (gather scratch).
+    /// Bytes a full scan of the stored rows reads: the encoded
+    /// elements plus (for SQ8) the per-row dequantization parameters.
+    /// The `f32` source rows the SQ8 tier retains for re-ranking are
+    /// *not* counted — a query touches only `k × SQ8_RERANK_FACTOR`
+    /// of them, so they cost capacity, not scan bandwidth.
+    pub fn scan_bytes(&self) -> usize {
+        match self {
+            RowStorage::F32(d) => d.len() * 4,
+            RowStorage::F16(d) => d.len() * 2,
+            RowStorage::Sq8(q) => q.codes.len() + q.params.len() * 4,
+        }
+    }
+
+    /// Total resident bytes, including the `f32` rerank source the SQ8
+    /// tier keeps (mmap-backed sections count the same as owned ones:
+    /// the pages are resident once touched).
+    pub fn resident_bytes(&self) -> usize {
+        match self {
+            RowStorage::Sq8(q) => self.scan_bytes() + q.source.len() * 4,
+            _ => self.scan_bytes(),
+        }
+    }
+
+    /// An empty **owned** buffer of the same precision (gather
+    /// scratch). For SQ8 the scratch carries codes and params only —
+    /// rerank reads the primary storage, never the scratch.
     pub fn empty_like(&self) -> Self {
         match self {
-            RowStorage::F32(_) => RowStorage::F32(Vec::new()),
-            RowStorage::F16(_) => RowStorage::F16(Vec::new()),
+            RowStorage::F32(_) => RowStorage::F32(Vec::new().into()),
+            RowStorage::F16(_) => RowStorage::F16(Vec::new().into()),
+            RowStorage::Sq8(_) => RowStorage::Sq8(Sq8Rows {
+                codes: Vec::new().into(),
+                params: Vec::new().into(),
+                source: Vec::new().into(),
+            }),
         }
     }
 
     /// Drop all elements, keeping the allocation.
+    ///
+    /// # Panics
+    /// Panics on mmap-backed storage (gather scratch is always owned).
     pub fn clear(&mut self) {
         match self {
-            RowStorage::F32(d) => d.clear(),
-            RowStorage::F16(d) => d.clear(),
+            RowStorage::F32(d) => d.as_mut_vec().clear(),
+            RowStorage::F16(d) => d.as_mut_vec().clear(),
+            RowStorage::Sq8(q) => {
+                q.codes.as_mut_vec().clear();
+                q.params.as_mut_vec().clear();
+            }
         }
     }
 
     /// Append row `id` of `src` (same precision) to this buffer — the
     /// gather primitive of the IVF batched scan. No transcoding ever
-    /// happens: gathering is a raw copy.
+    /// happens: gathering is a raw copy (codes + params for SQ8; the
+    /// rerank source is *not* gathered — see [`Self::empty_like`]).
     ///
     /// # Panics
-    /// Panics when the precisions differ or the row is out of bounds.
+    /// Panics when the precisions differ, the row is out of bounds, or
+    /// `self` is mmap-backed.
     pub fn push_row_from(&mut self, src: &RowStorage, dim: usize, id: u32) {
         let i = id as usize * dim;
         match (self, src) {
-            (RowStorage::F32(dst), RowStorage::F32(s)) => dst.extend_from_slice(&s[i..i + dim]),
-            (RowStorage::F16(dst), RowStorage::F16(s)) => dst.extend_from_slice(&s[i..i + dim]),
+            (RowStorage::F32(dst), RowStorage::F32(s)) => {
+                dst.as_mut_vec().extend_from_slice(&s[i..i + dim])
+            }
+            (RowStorage::F16(dst), RowStorage::F16(s)) => {
+                dst.as_mut_vec().extend_from_slice(&s[i..i + dim])
+            }
+            (RowStorage::Sq8(dst), RowStorage::Sq8(s)) => {
+                dst.codes
+                    .as_mut_vec()
+                    .extend_from_slice(&s.codes[i..i + dim]);
+                let p = id as usize * 2;
+                dst.params
+                    .as_mut_vec()
+                    .extend_from_slice(&s.params[p..p + 2]);
+            }
             _ => panic!("row-storage precision mismatch in gather"),
         }
     }
 
     /// Score one row against a query through the canonical kernel for
-    /// this precision.
+    /// this precision. For SQ8 this is the *quantized* score (the
+    /// candidate-generation score); [`Self::rerank_dot_row`] gives the
+    /// exact one.
     ///
     /// # Panics
     /// Panics when the row is out of bounds or `query.len() != dim`.
@@ -153,6 +415,28 @@ impl RowStorage {
         match self {
             RowStorage::F32(d) => dot(&d[i..i + dim], query),
             RowStorage::F16(d) => dot_f16(&d[i..i + dim], query),
+            RowStorage::Sq8(q) => {
+                let p = id as usize * 2;
+                dot_sq8(&q.codes[i..i + dim], q.params[p], q.params[p + 1], query)
+            }
+        }
+    }
+
+    /// The exact re-ranking score of one row: for SQ8 the f32 inner
+    /// product against the retained source row, for the dense tiers
+    /// identical to [`Self::dot_row`].
+    ///
+    /// # Panics
+    /// Panics when the row is out of bounds, `query.len() != dim`, or
+    /// called on SQ8 gather scratch (which carries no source rows).
+    #[inline]
+    pub fn rerank_dot_row(&self, dim: usize, id: u32, query: &[f32]) -> f32 {
+        match self {
+            RowStorage::Sq8(q) => {
+                let i = id as usize * dim;
+                dot(&q.source[i..i + dim], query)
+            }
+            _ => self.dot_row(dim, id, query),
         }
     }
 
@@ -166,6 +450,13 @@ impl RowStorage {
         match self {
             RowStorage::F32(d) => gemv1_into(&d[elems], dim, query, out),
             RowStorage::F16(d) => gemv1_f16_into(&d[elems], dim, query, out),
+            RowStorage::Sq8(q) => gemv1_sq8_into(
+                &q.codes[elems],
+                dim,
+                &q.params[rows.start * 2..rows.end * 2],
+                query,
+                out,
+            ),
         }
     }
 
@@ -179,14 +470,23 @@ impl RowStorage {
         match self {
             RowStorage::F32(d) => gemv_into(&d[elems], dim, queries, out),
             RowStorage::F16(d) => gemv_f16_into(&d[elems], dim, queries, out),
+            RowStorage::Sq8(q) => gemv_sq8_into(
+                &q.codes[elems],
+                dim,
+                &q.params[rows.start * 2..rows.end * 2],
+                queries,
+                out,
+            ),
         }
     }
 
-    /// Decode row `id` into an `f32` buffer (exact for both
-    /// precisions — f16 widening never rounds).
+    /// Decode row `id` into an `f32` buffer — exact for every
+    /// precision (f16 widening never rounds; SQ8 reads the retained
+    /// source row, not the codes).
     ///
     /// # Panics
-    /// Panics when the row is out of bounds or `out.len() != dim`.
+    /// Panics when the row is out of bounds, `out.len() != dim`, or
+    /// called on SQ8 gather scratch.
     pub fn row_into(&self, dim: usize, id: u32, out: &mut [f32]) {
         assert_eq!(out.len(), dim, "row_into output length mismatch");
         let i = id as usize * dim;
@@ -197,14 +497,15 @@ impl RowStorage {
                     *o = f32_from_f16(h);
                 }
             }
+            RowStorage::Sq8(q) => out.copy_from_slice(&q.source[i..i + dim]),
         }
     }
 
-    /// Borrow the raw `f32` buffer; `None` for f16 storage.
+    /// Borrow the raw `f32` buffer; `None` for the compressed tiers.
     pub fn as_f32(&self) -> Option<&[f32]> {
         match self {
             RowStorage::F32(d) => Some(d),
-            RowStorage::F16(_) => None,
+            RowStorage::F16(_) | RowStorage::Sq8(_) => None,
         }
     }
 }
@@ -230,7 +531,7 @@ mod tests {
         let (n, dim) = (20, 11);
         let data = rows(n, dim, 1);
         let q = random_unit_vector(&mut StdRng::seed_from_u64(2), dim);
-        let st = RowStorage::encode(RowPrecision::F32, data.clone());
+        let st = RowStorage::encode(RowPrecision::F32, dim, data.clone());
         for id in 0..n as u32 {
             let reference = dot(&data[id as usize * dim..(id as usize + 1) * dim], &q);
             assert_eq!(st.dot_row(dim, id, &q).to_bits(), reference.to_bits());
@@ -248,7 +549,7 @@ mod tests {
         let (n, dim) = (16, 13);
         let data = rows(n, dim, 3);
         let q = random_unit_vector(&mut StdRng::seed_from_u64(4), dim);
-        let st = RowStorage::encode(RowPrecision::F16, data.clone());
+        let st = RowStorage::encode(RowPrecision::F16, dim, data.clone());
         let mut decoded = vec![0.0f32; dim];
         for id in 0..n as u32 {
             st.row_into(dim, id, &mut decoded);
@@ -266,12 +567,97 @@ mod tests {
     }
 
     #[test]
+    fn sq8_quantized_scores_track_exact_scores() {
+        let (n, dim) = (24, 32);
+        let data = rows(n, dim, 5);
+        let q = random_unit_vector(&mut StdRng::seed_from_u64(6), dim);
+        let st = RowStorage::encode(RowPrecision::Sq8, dim, data.clone());
+        assert_eq!(st.precision(), RowPrecision::Sq8);
+        for id in 0..n as u32 {
+            let exact = dot(&data[id as usize * dim..(id as usize + 1) * dim], &q);
+            let quant = st.dot_row(dim, id, &q);
+            // Per-element quantization error ≤ scale/2 ≈ range/510;
+            // on unit vectors the accumulated score error stays well
+            // under 2e-2 at this dim.
+            assert!((quant - exact).abs() < 2e-2, "id {id}: {quant} vs {exact}");
+            // The rerank score is the exact f32 product, bit for bit.
+            assert_eq!(st.rerank_dot_row(dim, id, &q).to_bits(), exact.to_bits());
+        }
+    }
+
+    #[test]
+    fn sq8_gemv_matches_per_row_dots_bitwise() {
+        let (n, dim) = (19, 17);
+        let data = rows(n, dim, 7);
+        let q = random_unit_vector(&mut StdRng::seed_from_u64(8), dim);
+        let st = RowStorage::encode(RowPrecision::Sq8, dim, data);
+        let mut got = vec![0.0f32; 9];
+        st.gemv1_range(dim, 4..13, &q, &mut got);
+        for (j, g) in got.iter().enumerate() {
+            let reference = st.dot_row(dim, (4 + j) as u32, &q);
+            assert_eq!(g.to_bits(), reference.to_bits());
+        }
+    }
+
+    #[test]
+    fn sq8_row_into_returns_exact_source_rows() {
+        let (n, dim) = (6, 10);
+        let data = rows(n, dim, 9);
+        let st = RowStorage::encode(RowPrecision::Sq8, dim, data.clone());
+        let mut out = vec![0.0f32; dim];
+        for id in 0..n as u32 {
+            st.row_into(dim, id, &mut out);
+            for (o, d) in out.iter().zip(&data[id as usize * dim..]) {
+                assert_eq!(o.to_bits(), d.to_bits());
+            }
+        }
+        assert!(st.as_f32().is_none());
+    }
+
+    #[test]
+    fn sq8_encoding_handles_degenerate_rows() {
+        let dim = 4;
+        // Constant row, zero row, and a NaN-containing row.
+        let data = vec![
+            0.5,
+            0.5,
+            0.5,
+            0.5, //
+            0.0,
+            0.0,
+            0.0,
+            0.0, //
+            f32::NAN,
+            1.0,
+            2.0,
+            3.0,
+        ];
+        let st = RowStorage::encode(RowPrecision::Sq8, dim, data);
+        let RowStorage::Sq8(q) = &st else {
+            panic!("wrong variant");
+        };
+        // Constant rows: scale 0, offset = the constant.
+        assert_eq!(q.params()[0], 0.0);
+        assert_eq!(q.params()[1], 0.5);
+        assert_eq!(&q.codes()[0..4], &[0; 4]);
+        assert_eq!(q.params()[2], 0.0);
+        assert_eq!(q.params()[3], 0.0);
+        // NaN is ignored by the range; finite elements still quantize,
+        // the NaN element saturates to code 0.
+        assert!(q.params()[4] > 0.0);
+        let query = [1.0f32, 0.0, 0.0, 0.0];
+        // Scores stay finite for the degenerate rows.
+        assert!(st.dot_row(dim, 0, &query).is_finite());
+        assert!(st.dot_row(dim, 1, &query).is_finite());
+    }
+
+    #[test]
     fn gather_preserves_precision_and_scores() {
         let (n, dim) = (10, 9);
         let data = rows(n, dim, 5);
         let q = random_unit_vector(&mut StdRng::seed_from_u64(6), dim);
-        for precision in [RowPrecision::F32, RowPrecision::F16] {
-            let st = RowStorage::encode(precision, data.clone());
+        for precision in [RowPrecision::F32, RowPrecision::F16, RowPrecision::Sq8] {
+            let st = RowStorage::encode(precision, dim, data.clone());
             let mut scratch = st.empty_like();
             let ids = [7u32, 0, 3];
             for &id in &ids {
@@ -281,7 +667,12 @@ mod tests {
             let mut got = vec![0.0f32; ids.len()];
             scratch.gemv1_range(dim, 0..ids.len(), &q, &mut got);
             for (j, &id) in ids.iter().enumerate() {
-                assert_eq!(got[j].to_bits(), st.dot_row(dim, id, &q).to_bits());
+                assert_eq!(
+                    got[j].to_bits(),
+                    st.dot_row(dim, id, &q).to_bits(),
+                    "{}",
+                    precision.name()
+                );
             }
         }
     }
@@ -289,18 +680,19 @@ mod tests {
     #[test]
     #[should_panic(expected = "precision mismatch")]
     fn mixed_precision_gather_panics() {
-        let f32s = RowStorage::encode(RowPrecision::F32, vec![1.0; 4]);
-        let mut f16s = RowStorage::encode(RowPrecision::F16, vec![]);
+        let f32s = RowStorage::encode(RowPrecision::F32, 4, vec![1.0; 4]);
+        let mut f16s = RowStorage::encode(RowPrecision::F16, 4, vec![]);
         f16s.push_row_from(&f32s, 4, 0);
     }
 
     #[test]
     fn precision_labels_round_trip() {
-        for p in [RowPrecision::F32, RowPrecision::F16] {
+        for p in [RowPrecision::F32, RowPrecision::F16, RowPrecision::Sq8] {
             assert_eq!(RowPrecision::parse(p.name()), Some(p));
         }
         assert_eq!(RowPrecision::parse("bf16"), None);
         assert_eq!(RowPrecision::default(), RowPrecision::F32);
         assert_eq!(RowPrecision::F16.bytes_per_element(), 2);
+        assert_eq!(RowPrecision::Sq8.bytes_per_element(), 1);
     }
 }

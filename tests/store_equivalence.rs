@@ -5,9 +5,12 @@
 //! *bit-identical* to the unsharded exact scan for every shard count —
 //! while the approximate backends (RP forest, IVF) may trade recall for
 //! latency but must stay above the floors documented in the
-//! `seesaw_vecstore` module docs (forest ≳ 0.85, IVF ≳ 0.70 at default
-//! knobs). The `recall_` tests double as the CI recall-regression
-//! smoke: a backend change that silently drops recall fails the build.
+//! `seesaw_vecstore` module docs (forest ≳ 0.85, IVF ≳ 0.70, exact-sq8
+//! with re-ranking ≥ 0.90 at default knobs). The `recall_` tests
+//! double as the CI recall-regression smoke: a backend change that
+//! silently drops recall fails the build. ISSUE 8 adds the on-disk
+//! index contract: an mmap-loaded store answers bit-identically to the
+//! in-RAM store it was saved from, for every backend × precision.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -158,6 +161,111 @@ fn recall_f16_storage_stays_above_floors() {
         .build(dim, data.clone());
     let recall = recall_at_k(&exact, &ivf_f16, &queries, 10);
     assert!(recall > 0.70, "ivf-f16 recall@10 = {recall}, floor 0.70");
+}
+
+#[test]
+fn recall_sq8_with_rerank_stays_above_floor() {
+    // SQ8 rows carry ~1 byte/element into the scan; the quantized
+    // scores only *rank* a pool of k × SQ8_RERANK_FACTOR candidates,
+    // which are then re-scored against the exact f32 source rows. The
+    // floor the ISSUE commits to is 0.90 recall@10 for the exact-sq8
+    // scan; IVF-sq8 composes the probe loss on top, so it inherits the
+    // IVF floor.
+    let (n, dim) = (2000usize, 24usize);
+    let data = random_data(n, dim, 81);
+    let exact = ExactStore::new(dim, data.clone());
+    let queries = random_queries(20, dim, 82);
+    let exact_sq8 = StoreConfig::exact()
+        .with_precision(RowPrecision::Sq8)
+        .build(dim, data.clone());
+    let recall = recall_at_k(&exact, &exact_sq8, &queries, 10);
+    assert!(recall >= 0.90, "exact-sq8 recall@10 = {recall}, floor 0.90");
+    let ivf_sq8 = StoreConfig::ivf(IvfConfig::default())
+        .with_precision(RowPrecision::Sq8)
+        .build(dim, data.clone());
+    let recall = recall_at_k(&exact, &ivf_sq8, &queries, 10);
+    assert!(recall > 0.70, "ivf-sq8 recall@10 = {recall}, floor 0.70");
+}
+
+#[test]
+fn mmap_loaded_stores_answer_bit_identically_to_in_ram_stores() {
+    // The on-disk index contract: saving a store to the `SSAWIDX1`
+    // format and mmap-loading it back must change *nothing* about its
+    // answers — same ids, same score bits — for every backend at every
+    // precision, through both the single-query and batched entry
+    // points. (Backends without a zero-copy row layout — the RP forest
+    // and sharded stores — persist their raw rows and rebuild from the
+    // saved seed, so the same guarantee holds through reconstruction.)
+    use seesaw::vecstore::{load_store, save_store};
+
+    let (n, dim) = (600usize, 16usize);
+    let data = random_data(n, dim, 91);
+    let queries = random_queries(6, dim, 92);
+    let qrefs: Vec<&[f32]> = queries.iter().map(|q| q.as_slice()).collect();
+    let keep = |id: u32| id % 4 != 2;
+    let configs = [
+        ("exact", StoreConfig::exact()),
+        (
+            "exact-f16",
+            StoreConfig::exact().with_precision(RowPrecision::F16),
+        ),
+        (
+            "exact-sq8",
+            StoreConfig::exact().with_precision(RowPrecision::Sq8),
+        ),
+        ("forest", StoreConfig::forest(RpForestConfig::default())),
+        ("ivf", StoreConfig::ivf(IvfConfig::default())),
+        (
+            "ivf-f16",
+            StoreConfig::ivf(IvfConfig::default()).with_precision(RowPrecision::F16),
+        ),
+        (
+            "ivf-sq8",
+            StoreConfig::ivf(IvfConfig::default()).with_precision(RowPrecision::Sq8),
+        ),
+        ("sharded-exact", StoreConfig::exact().with_shards(3)),
+        (
+            "sharded-sq8",
+            StoreConfig::exact()
+                .with_precision(RowPrecision::Sq8)
+                .with_shards(3),
+        ),
+        (
+            "sharded-ivf",
+            StoreConfig::ivf(IvfConfig::default()).with_shards(2),
+        ),
+    ];
+    for (label, cfg) in configs {
+        let built = cfg.build(dim, data.clone());
+        let path = std::env::temp_dir().join(format!(
+            "seesaw_equiv_{}_{label}.ssawidx",
+            std::process::id()
+        ));
+        save_store(&built, &path).unwrap_or_else(|e| panic!("{label}: save: {e}"));
+        let loaded = load_store(&path).unwrap_or_else(|e| panic!("{label}: load: {e}"));
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(built.len(), loaded.len(), "{label}: len");
+        assert_eq!(built.dim(), loaded.dim(), "{label}: dim");
+        for (qi, q) in qrefs.iter().enumerate() {
+            for k in [1usize, 10, n + 5] {
+                assert_bit_identical(
+                    &built.top_k(q, k),
+                    &loaded.top_k(q, k),
+                    &format!("{label} q={qi} k={k}"),
+                );
+            }
+            assert_bit_identical(
+                &built.top_k_filtered(q, 9, &keep),
+                &loaded.top_k_filtered(q, 9, &keep),
+                &format!("{label} filtered q={qi}"),
+            );
+        }
+        let a = built.top_k_many(&qrefs, 11, usize::MAX, &keep);
+        let b = loaded.top_k_many(&qrefs, 11, usize::MAX, &keep);
+        for (qi, (x, y)) in a.iter().zip(&b).enumerate() {
+            assert_bit_identical(x, y, &format!("{label} batched q={qi}"));
+        }
+    }
 }
 
 #[test]
