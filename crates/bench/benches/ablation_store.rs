@@ -14,12 +14,16 @@
 //! 4. end-to-end SeeSaw mAP as a function of the candidate budget
 //!    (`search_k`) on the default backend;
 //! 5. the **quantization sweep**: memory × recall × latency for every
-//!    precision on the dense-row backends, written to
-//!    `BENCH_quant.json` at the repo root (override with
+//!    precision (f32, f16, sq8, pq) on the dense-row backends, written
+//!    to `BENCH_quant.json` at the repo root (override with
 //!    `SEESAW_QUANT_OUT`) so CI can track the trade-off over time. The
-//!    sweep also builds a dim-512 SQ8 store and fails the bench if its
-//!    scan footprint exceeds 1.1 bytes/element — the capacity claim
-//!    that makes 10M-row datasets fit in RAM.
+//!    IVF cells probe every list so their recall isolates quantization
+//!    loss from coarse-probe loss. The sweep also builds dim-512
+//!    stores and gates the capacity claims that make 10M-row datasets
+//!    fit in RAM: SQ8 scan ≤ 1.1 bytes/element, PQ ADC scan ≤ 0.6
+//!    bytes/element, mmap-loaded PQ resident ≤ 1.0 byte/element, and
+//!    exact-pq recall@10 ≥ 0.85 after re-rank (`SEESAW_QUANT_STRICT=0`
+//!    downgrades the PQ gates to warnings).
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -72,6 +76,15 @@ fn main() {
         (
             "ivf-sq8",
             StoreConfig::ivf(IvfConfig::default()).with_precision(RowPrecision::Sq8),
+        ),
+        (
+            "exact-pq",
+            StoreConfig::exact().with_precision(RowPrecision::Pq { m: 16, nbits: 8 }),
+        ),
+        (
+            "ivf-pq",
+            StoreConfig::ivf(IvfConfig::default())
+                .with_precision(RowPrecision::Pq { m: 16, nbits: 8 }),
         ),
     ];
     let exact = StoreConfig::exact().build(idx.dim, data.clone());
@@ -191,13 +204,17 @@ fn main() {
     println!("per-backend mAP within a few points of exact, and mAP at the default");
     println!("budget within a few points of the largest; sharded exact search");
     println!("approaches linear speedup up to the core count; sq8 rows cost ~4x");
-    println!("less scan bandwidth than f32 at ≥0.9 recall@10 after re-ranking.");
+    println!("less scan bandwidth than f32 at ≥0.9 recall@10 after re-ranking;");
+    println!("pq codes cut the scan below one byte per element (dim-512 gate:");
+    println!("≤0.6 B/elem, mmap-loaded resident ≤1.0 B/elem) at ≥0.85 recall@10.");
 }
 
 /// One (backend × precision) cell of the quantization sweep.
 struct QuantCell {
     backend: &'static str,
     precision: RowPrecision,
+    /// Lists probed per query (IVF cells only).
+    n_probe: Option<usize>,
     scan_bytes_per_elem: f64,
     resident_bytes_per_elem: f64,
     recall_at_10: f64,
@@ -208,33 +225,59 @@ struct QuantCell {
 /// record memory (bytes/element, measured from the built store, not
 /// computed from the format), recall@10 against the exact f32 scan,
 /// and per-lookup latency. Writes `BENCH_quant.json` and enforces the
-/// dim-512 SQ8 capacity gate.
+/// dim-512 SQ8 + PQ capacity gates (`SEESAW_QUANT_STRICT=0` opts out
+/// of the PQ gates).
 fn quant_sweep(dim: usize, data: &[f32], queries: &[Vec<f32>], exact: &dyn VectorStore) {
     let n_elems = data.len();
-    let precisions = [RowPrecision::F32, RowPrecision::F16, RowPrecision::Sq8];
+    let rerank_factor = seesaw_bench::bench_rerank_factor();
+    assert!(
+        dim.is_multiple_of(8),
+        "quant sweep assumes a PQ-divisible dim, got {dim}"
+    );
+    let precisions = [
+        RowPrecision::F32,
+        RowPrecision::F16,
+        RowPrecision::Sq8,
+        RowPrecision::Pq {
+            m: dim / 8,
+            nbits: 8,
+        },
+    ];
+    // The IVF cells probe *every* list so their recall column isolates
+    // quantization loss: at the default `n_probe` the coarse-probe loss
+    // dominates and every precision reads the same (≈0.49 at bench
+    // scale), which is exactly the confound this sweep exists to avoid.
+    // The exact-backend cells report the same precision with no coarse
+    // stage at all, so the two rows bracket each quantizer.
+    let sweep_ivf = IvfConfig {
+        n_probe: IvfConfig::default().n_lists,
+        ..IvfConfig::default()
+    };
     let mut cells: Vec<QuantCell> = Vec::new();
     for backend in ["exact", "ivf"] {
         for p in precisions {
             // Build the concrete type first: the memory accounting
             // lives on `RowStorage`, behind the `rows()` accessors.
-            let (store, scan_bytes, resident_bytes): (Box<dyn VectorStore>, usize, usize) =
-                match backend {
-                    "exact" => {
-                        let s = ExactStore::with_precision(dim, data.to_vec(), p);
-                        let (sb, rb) = (s.rows().scan_bytes(), s.rows().resident_bytes());
-                        (Box::new(s), sb, rb)
-                    }
-                    _ => {
-                        let s = IvfStore::build_with_precision(
-                            dim,
-                            data.to_vec(),
-                            IvfConfig::default(),
-                            p,
-                        );
-                        let (sb, rb) = (s.rows().scan_bytes(), s.rows().resident_bytes());
-                        (Box::new(s), sb, rb)
-                    }
-                };
+            let (store, scan_bytes, resident_bytes, n_probe): (
+                Box<dyn VectorStore>,
+                usize,
+                usize,
+                Option<usize>,
+            ) = match backend {
+                "exact" => {
+                    let s = ExactStore::with_precision(dim, data.to_vec(), p)
+                        .with_rerank_factor(rerank_factor);
+                    let (sb, rb) = (s.rows().scan_bytes(), s.rows().resident_bytes());
+                    (Box::new(s), sb, rb, None)
+                }
+                _ => {
+                    let s =
+                        IvfStore::build_with_precision(dim, data.to_vec(), sweep_ivf.clone(), p)
+                            .with_rerank_factor(rerank_factor);
+                    let (sb, rb) = (s.rows().scan_bytes(), s.rows().resident_bytes());
+                    (Box::new(s), sb, rb, Some(sweep_ivf.n_probe))
+                }
+            };
             let mut hit = 0usize;
             let mut total = 0usize;
             for q in queries {
@@ -257,6 +300,7 @@ fn quant_sweep(dim: usize, data: &[f32], queries: &[Vec<f32>], exact: &dyn Vecto
             cells.push(QuantCell {
                 backend,
                 precision: p,
+                n_probe,
                 scan_bytes_per_elem: scan_bytes as f64 / n_elems.max(1) as f64,
                 resident_bytes_per_elem: resident_bytes as f64 / n_elems.max(1) as f64,
                 recall_at_10: hit as f64 / total.max(1) as f64,
@@ -268,6 +312,7 @@ fn quant_sweep(dim: usize, data: &[f32], queries: &[Vec<f32>], exact: &dyn Vecto
     let mut table = TableBuilder::new("Quantization sweep: memory × recall@10 × latency").header([
         "backend",
         "precision",
+        "n_probe",
         "scan B/elem",
         "resident B/elem",
         "recall@10",
@@ -276,7 +321,8 @@ fn quant_sweep(dim: usize, data: &[f32], queries: &[Vec<f32>], exact: &dyn Vecto
     for c in &cells {
         table.row([
             c.backend.to_string(),
-            c.precision.name().to_string(),
+            c.precision.label(),
+            c.n_probe.map_or_else(|| "-".to_string(), |p| p.to_string()),
             format!("{:.3}", c.scan_bytes_per_elem),
             format!("{:.3}", c.resident_bytes_per_elem),
             format!("{:.3}", c.recall_at_10),
@@ -299,12 +345,67 @@ fn quant_sweep(dim: usize, data: &[f32], queries: &[Vec<f32>], exact: &dyn Vecto
         }
         buf
     };
-    let sq8_512 = ExactStore::with_precision(512, wide, RowPrecision::Sq8);
+    let sq8_512 = ExactStore::with_precision(512, wide.clone(), RowPrecision::Sq8);
     let dim512_scan = sq8_512.rows().scan_bytes() as f64 / (n512 * 512) as f64;
     eprintln!("[ablation_store] dim-512 sq8 scan footprint: {dim512_scan:.4} bytes/element");
     assert!(
         dim512_scan <= 1.1,
         "sq8 at dim 512 must scan ≤ 1.1 bytes/element, measured {dim512_scan:.4}"
+    );
+
+    // PQ capacity gates at the same width (ISSUE 9): the ADC code scan
+    // must touch ≤ 0.6 bytes/element (m = 64 → 0.125), and an
+    // mmap-loaded PQ index — f32 re-rank rows demand-paged from disk,
+    // codes + codebooks resident — must hold ≤ 1.0 byte/element.
+    // `SEESAW_QUANT_STRICT=0` downgrades gate failures to warnings
+    // (e.g. while bisecting a regression).
+    let strict = std::env::var("SEESAW_QUANT_STRICT").map_or(true, |v| v != "0");
+    let gate = |ok: bool, msg: String| {
+        if ok {
+            return;
+        }
+        assert!(!strict, "{msg} (SEESAW_QUANT_STRICT=0 to downgrade)");
+        eprintln!("[ablation_store] WARNING (gate skipped): {msg}");
+    };
+    let pq_512 = RowPrecision::Pq { m: 64, nbits: 8 };
+    let pq_store = ExactStore::with_precision(512, wide, pq_512).with_rerank_factor(rerank_factor);
+    let pq512_scan = pq_store.rows().scan_bytes() as f64 / (n512 * 512) as f64;
+    eprintln!("[ablation_store] dim-512 pq scan footprint: {pq512_scan:.4} bytes/element");
+    gate(
+        pq512_scan <= 0.6,
+        format!("pq at dim 512 must scan ≤ 0.6 bytes/element, measured {pq512_scan:.4}"),
+    );
+    let pq512_resident = {
+        use seesaw_vecstore::{load_store, save_store, AnyStore};
+        let path =
+            std::env::temp_dir().join(format!("seesaw_quant_gate_{}.ssawidx", std::process::id()));
+        save_store(&AnyStore::Exact(pq_store), &path).expect("saving pq gate index");
+        let loaded = load_store(&path).expect("loading pq gate index");
+        let _ = std::fs::remove_file(&path);
+        let AnyStore::Exact(s) = &loaded else {
+            panic!("pq gate index changed variant on load");
+        };
+        s.rows().resident_bytes() as f64 / (n512 * 512) as f64
+    };
+    eprintln!(
+        "[ablation_store] dim-512 pq mmap-loaded resident: {pq512_resident:.4} bytes/element"
+    );
+    gate(
+        pq512_resident <= 1.0,
+        format!(
+            "mmap-loaded pq at dim 512 must hold ≤ 1.0 byte/element, measured {pq512_resident:.4}"
+        ),
+    );
+    // The recall half of the capacity claim: byte-per-element scans are
+    // only useful if re-ranking recovers the accuracy. Gate on the
+    // exact-backend PQ cell so coarse-probe loss cannot confound it.
+    let pq_exact_recall = cells
+        .iter()
+        .find(|c| c.backend == "exact" && matches!(c.precision, RowPrecision::Pq { .. }))
+        .map_or(0.0, |c| c.recall_at_10);
+    gate(
+        pq_exact_recall >= 0.85,
+        format!("exact-pq recall@10 must stay ≥ 0.85 after re-rank, measured {pq_exact_recall:.4}"),
     );
 
     let mut json = String::new();
@@ -313,19 +414,32 @@ fn quant_sweep(dim: usize, data: &[f32], queries: &[Vec<f32>], exact: &dyn Vecto
     let _ = writeln!(json, "  \"dim\": {dim},");
     let _ = writeln!(json, "  \"rows\": {},", n_elems / dim.max(1));
     let _ = writeln!(json, "  \"queries\": {},", queries.len());
+    let _ = writeln!(json, "  \"rerank_pool_factor\": {rerank_factor},");
     let _ = writeln!(
         json,
         "  \"sq8_dim512_scan_bytes_per_element\": {dim512_scan:.4},"
     );
+    let _ = writeln!(
+        json,
+        "  \"pq_dim512_scan_bytes_per_element\": {pq512_scan:.4},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"pq_dim512_mmap_resident_bytes_per_element\": {pq512_resident:.4},"
+    );
     let _ = writeln!(json, "  \"cells\": [");
     for (i, c) in cells.iter().enumerate() {
+        let n_probe = c
+            .n_probe
+            .map_or_else(|| "null".to_string(), |p| p.to_string());
         let _ = write!(
             json,
-            "    {{\"backend\": \"{}\", \"precision\": \"{}\", \
+            "    {{\"backend\": \"{}\", \"precision\": \"{}\", \"n_probe\": {}, \
              \"scan_bytes_per_element\": {:.4}, \"resident_bytes_per_element\": {:.4}, \
              \"recall_at_10\": {:.4}, \"lookup_us\": {:.2}}}",
             c.backend,
-            c.precision.name(),
+            c.precision.label(),
+            n_probe,
             c.scan_bytes_per_elem,
             c.resident_bytes_per_elem,
             c.recall_at_10,

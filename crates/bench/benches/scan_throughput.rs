@@ -12,9 +12,11 @@
 //!    rows/sec.
 //! 2. **storage × ISA matrix** — the kernel scan at every available
 //!    SIMD tier (scalar, and AVX2/NEON where detected) crossed with
-//!    both row-storage precisions (`f32`, `f16`), with a bitwise
-//!    self-check that every tier reproduces the scalar tier's scores
-//!    exactly (per precision).
+//!    every row-storage precision (`f32`, `f16`, `sq8`, `pq`), with a
+//!    bitwise self-check that every tier reproduces the scalar tier's
+//!    scores exactly (per precision). The quantized rows time the full
+//!    code-scan + re-rank pipeline; the `pq` row is the evidence that
+//!    the ADC scan beats the SQ8 byte scan at equal recall machinery.
 //! 3. **single vs batched** — `Q ∈ {1, 4, 16}` queries answered by `Q`
 //!    sequential scans vs one [`VectorStore::top_k_many`] batch
 //!    (one pass over memory). Reported as queries/sec.
@@ -191,11 +193,24 @@ fn main() {
             kernel_rows_per_sec / scalar_rows_per_sec
         );
 
-        // Storage × ISA matrix: every available tier against both row
-        // precisions, with a bitwise cross-check that each tier
-        // reproduces the scalar tier exactly (per precision).
+        // Storage × ISA matrix: every available tier against every row
+        // precision, with a bitwise cross-check that each tier
+        // reproduces the scalar tier exactly (per precision). The
+        // quantized tiers (sq8, pq) time the full pipeline — code scan
+        // plus exact re-rank of the candidate pool — so their rows/s is
+        // what a caller actually observes; pq scans m = dim/8 code
+        // bytes per row where sq8 scans dim.
         let mut matrix = Vec::new();
-        for &precision in &[RowPrecision::F32, RowPrecision::F16] {
+        let precisions = [
+            RowPrecision::F32,
+            RowPrecision::F16,
+            RowPrecision::Sq8,
+            RowPrecision::Pq {
+                m: dim / 8,
+                nbits: 8,
+            },
+        ];
+        for &precision in &precisions {
             let pstore = ExactStore::with_precision(dim, data.clone(), precision);
             assert!(force_tier(Tier::Scalar), "scalar tier must always exist");
             let reference = pstore.top_k(q0, K);
@@ -312,10 +327,12 @@ fn main() {
     let _ = writeln!(
         json,
         "  \"notes\": \"kernel numbers run on the simd_tier above; the storage_matrix \
-         crosses every available tier (runtime-detected, SEESAW_SIMD to pin) with f32/f16 \
-         row storage. All tiers are bitwise-identical per precision; f16 halves scan \
-         bandwidth and rounds rows once at encode time. Baselines on a SIMD tier gate at \
-         {GATE_MIN_SPEEDUP_SIMD}x the in-run scalar scan at dim {GATE_DIM}.\","
+         crosses every available tier (runtime-detected, SEESAW_SIMD to pin) with \
+         f32/f16/sq8/pq row storage. All tiers are bitwise-identical per precision; f16 \
+         halves scan bandwidth, sq8 scans one code byte per element, and pq (m = dim/8, \
+         8-bit codes) scans one code byte per 8 elements; both quantized rows include \
+         the exact re-rank of the candidate pool in their timing. Baselines on a SIMD \
+         tier gate at {GATE_MIN_SPEEDUP_SIMD}x the in-run scalar scan at dim {GATE_DIM}.\","
     );
     let _ = writeln!(json, "  \"configs\": [");
     for (i, r) in results.iter().enumerate() {

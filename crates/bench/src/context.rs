@@ -12,7 +12,7 @@ pub fn bench_seed() -> u64 {
 }
 
 /// Row-storage precision for bench indexes (`SEESAW_PRECISION` =
-/// `f32` | `f16` | `sq8`, default `f32`).
+/// `f32` | `f16` | `sq8` | `pq[<m>[x<nbits>]]`, default `f32`).
 ///
 /// # Panics
 /// Panics on an unknown value, mirroring [`bench_store_config`]: a
@@ -20,16 +20,26 @@ pub fn bench_seed() -> u64 {
 pub fn bench_precision() -> RowPrecision {
     match std::env::var("SEESAW_PRECISION") {
         Err(_) => RowPrecision::F32,
-        Ok(name) => RowPrecision::parse(&name)
-            .unwrap_or_else(|| panic!("SEESAW_PRECISION={name:?}: expected f32, f16, or sq8")),
+        Ok(name) => RowPrecision::parse(&name).unwrap_or_else(|| {
+            panic!("SEESAW_PRECISION={name:?}: expected f32, f16, sq8, or pq<m>x<nbits>")
+        }),
     }
+}
+
+/// Quantized-tier re-rank pool factor for bench indexes
+/// (`SEESAW_RERANK_FACTOR` = N ≥ 1, default
+/// [`seesaw_vecstore::SQ8_RERANK_FACTOR`]). Shared by the SQ8 and PQ
+/// tiers; ignored by full-precision stores.
+pub fn bench_rerank_factor() -> usize {
+    env_usize("SEESAW_RERANK_FACTOR", seesaw_vecstore::SQ8_RERANK_FACTOR)
 }
 
 /// The vector-store backend for bench indexes, selected by environment
 /// (`SEESAW_STORE` = `forest` | `exact` | `ivf`, `SEESAW_SHARDS` = N,
-/// `SEESAW_PRECISION` = `f32` | `f16` | `sq8`) instead of hardcoding
-/// one — every harness that builds through [`build_indexes`] runs
-/// against whichever backend the caller picks.
+/// `SEESAW_PRECISION` = `f32` | `f16` | `sq8` | `pq<m>x<nbits>`,
+/// `SEESAW_RERANK_FACTOR` = N) instead of hardcoding one — every
+/// harness that builds through [`build_indexes`] runs against
+/// whichever backend the caller picks.
 ///
 /// # Panics
 /// Panics on an unknown `SEESAW_STORE` or `SEESAW_PRECISION` value
@@ -48,6 +58,7 @@ pub fn bench_store_config() -> StoreConfig {
     };
     cfg.with_shards(env_usize("SEESAW_SHARDS", 0))
         .with_precision(bench_precision())
+        .with_rerank_factor(bench_rerank_factor())
 }
 
 /// The four paper datasets at bench scale, in the paper's column order

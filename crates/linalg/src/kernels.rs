@@ -62,9 +62,11 @@
 //!   [`crate::vector::normalize`] per row bit for bit.
 
 use crate::simd::{
-    active_tier, dispatch_dot, dispatch_dot_f16, dispatch_dot_sq8, dispatch_gemv1,
-    dispatch_gemv1_f16, dispatch_gemv1_sq8, Tier,
+    active_tier, dispatch_dot, dispatch_dot_f16, dispatch_dot_pq, dispatch_dot_sq8, dispatch_gemv1,
+    dispatch_gemv1_f16, dispatch_gemv1_sq8, dispatch_scan_pq, Tier,
 };
+
+pub use crate::simd::PQ_LUT_STRIDE;
 
 /// Rows per cache block in [`gemv_into`]: `16 × 512 dims × 4 B = 32 KiB`
 /// at the largest common embedding width — sized to stay L1-resident
@@ -375,6 +377,106 @@ pub fn gemv1_sq8_into_with(
     dispatch_gemv1_sq8(tier, codes, dim, params, query, out);
 }
 
+/// Build the per-query PQ (product-quantization) lookup table for ADC
+/// scoring, on the active SIMD tier.
+///
+/// `codebooks` holds `m` subspace codebooks back to back, each a
+/// row-major `k × dsub` matrix (`dsub = query.len() / m`). The output
+/// table has a fixed stride of [`PQ_LUT_STRIDE`] entries per subspace:
+/// entry `lut[s * PQ_LUT_STRIDE + j]` is the canonical [`dot`] of
+/// centroid `j` of subspace `s` against the query's `s`-th sub-vector,
+/// and entries `k..PQ_LUT_STRIDE` are zero-filled. The fixed stride is
+/// what lets [`scan_pq_into`] index with *any* `u8` code without
+/// bounds checks per element (see the safety note there). Each entry
+/// is computed by the canonical GEMV kernel, so the table — and
+/// everything scored through it — is bit-identical across tiers.
+///
+/// # Panics
+/// Panics when `m == 0`, `k` is zero or exceeds [`PQ_LUT_STRIDE`],
+/// `query.len()` is zero or not a multiple of `m`,
+/// `codebooks.len() != m * k * dsub`, or
+/// `lut.len() != m * PQ_LUT_STRIDE`.
+pub fn pq_lut_into(codebooks: &[f32], m: usize, k: usize, query: &[f32], lut: &mut [f32]) {
+    pq_lut_into_with(active_tier(), codebooks, m, k, query, lut)
+}
+
+/// [`pq_lut_into`] on an explicit tier. Same contracts.
+pub fn pq_lut_into_with(
+    tier: Tier,
+    codebooks: &[f32],
+    m: usize,
+    k: usize,
+    query: &[f32],
+    lut: &mut [f32],
+) {
+    assert!(m > 0, "subspace count must be positive");
+    assert!(
+        k > 0 && k <= PQ_LUT_STRIDE,
+        "centroid count out of range (1..={PQ_LUT_STRIDE})"
+    );
+    assert!(
+        !query.is_empty() && query.len().is_multiple_of(m),
+        "query length is not a positive multiple of m"
+    );
+    let dsub = query.len() / m;
+    assert_eq!(codebooks.len(), m * k * dsub, "codebook shape mismatch");
+    assert_eq!(lut.len(), m * PQ_LUT_STRIDE, "lut length mismatch");
+    for s in 0..m {
+        let cb = &codebooks[s * k * dsub..(s + 1) * k * dsub];
+        let q = &query[s * dsub..(s + 1) * dsub];
+        let (entries, pad) = lut[s * PQ_LUT_STRIDE..(s + 1) * PQ_LUT_STRIDE].split_at_mut(k);
+        dispatch_gemv1(tier, cb, dsub, q, entries);
+        pad.fill(0.0);
+    }
+}
+
+/// ADC score of one PQ-coded row against a prepared lookup table
+/// ([`pq_lut_into`]), on the active SIMD tier: the sum of one table
+/// entry per subspace, accumulated in the canonical eight-lane order
+/// (chunks of eight subspaces, left-to-right tail, fixed reduction
+/// tree) — so the score is bit-identical across tiers, and
+/// [`scan_pq_into`] output is bit-identical to calling this per row.
+///
+/// # Panics
+/// Panics when `lut.len() != codes.len() * PQ_LUT_STRIDE`.
+#[inline]
+pub fn dot_pq(codes: &[u8], lut: &[f32]) -> f32 {
+    dot_pq_with(active_tier(), codes, lut)
+}
+
+/// [`dot_pq`] on an explicit tier. Same contracts.
+#[inline]
+pub fn dot_pq_with(tier: Tier, codes: &[u8], lut: &[f32]) -> f32 {
+    assert_eq!(
+        lut.len(),
+        codes.len() * PQ_LUT_STRIDE,
+        "lut length mismatch"
+    );
+    dispatch_dot_pq(tier, codes, lut)
+}
+
+/// Single-query ADC scan over PQ-coded rows (`m` codes per row):
+/// `out[r] = dot_pq(codes[r·m..(r+1)·m], lut)`, with the SIMD tiers
+/// scoring several rows per loop to keep independent gather/add chains
+/// in flight. The fixed [`PQ_LUT_STRIDE`] table stride guarantees any
+/// `u8` code indexes in bounds, which is what keeps the AVX2 vector
+/// gather sound without per-element validation.
+///
+/// # Panics
+/// Panics when `m == 0`, `codes.len()` is not `out.len() * m`, or
+/// `lut.len() != m * PQ_LUT_STRIDE`.
+pub fn scan_pq_into(codes: &[u8], m: usize, lut: &[f32], out: &mut [f32]) {
+    scan_pq_into_with(active_tier(), codes, m, lut, out)
+}
+
+/// [`scan_pq_into`] on an explicit tier. Same contracts.
+pub fn scan_pq_into_with(tier: Tier, codes: &[u8], m: usize, lut: &[f32], out: &mut [f32]) {
+    assert!(m > 0, "subspace count must be positive");
+    assert_eq!(codes.len(), out.len() * m, "codes length mismatch");
+    assert_eq!(lut.len(), m * PQ_LUT_STRIDE, "lut length mismatch");
+    dispatch_scan_pq(tier, codes, m, lut, out);
+}
+
 /// Normalize every `dim`-length row of `data` to unit length in one
 /// blocked pass. Rows with norm at or below `f32::EPSILON` are
 /// **zero-filled**: they carry no meaningful direction, and dividing
@@ -568,6 +670,47 @@ mod tests {
         gemv1_sq8_into(&codes, dim, &params, queries[1], &mut single);
         for r in 0..n {
             assert_eq!(single[r].to_bits(), out[n + r].to_bits());
+        }
+    }
+
+    #[test]
+    fn pq_lut_entries_match_per_centroid_dot_and_pad_is_zero() {
+        let (m, k, dsub) = (3, 5, 7);
+        let codebooks = random_rows(m * k, dsub, 31);
+        let query = random_rows(1, m * dsub, 32);
+        let mut lut = vec![f32::NAN; m * PQ_LUT_STRIDE];
+        pq_lut_into(&codebooks, m, k, &query, &mut lut);
+        for s in 0..m {
+            for j in 0..PQ_LUT_STRIDE {
+                let got = lut[s * PQ_LUT_STRIDE + j];
+                if j < k {
+                    let cb = &codebooks[(s * k + j) * dsub..(s * k + j + 1) * dsub];
+                    let reference = dot(cb, &query[s * dsub..(s + 1) * dsub]);
+                    assert_eq!(got.to_bits(), reference.to_bits(), "s {s} j {j}");
+                } else {
+                    assert_eq!(got, 0.0, "pad entry s {s} j {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scan_pq_matches_per_row_dot_pq_bitwise() {
+        // m = 37 exercises the eight-lane chunking plus a 5-subspace
+        // tail; n = 45 exercises the SIMD row-group remainders.
+        let (m, k, n) = (37, 11, 45);
+        let mut lut = vec![0.0f32; m * PQ_LUT_STRIDE];
+        let flat = random_rows(m, k, 33);
+        for s in 0..m {
+            lut[s * PQ_LUT_STRIDE..s * PQ_LUT_STRIDE + k]
+                .copy_from_slice(&flat[s * k..(s + 1) * k]);
+        }
+        let codes: Vec<u8> = (0..n * m).map(|i| (i * 89 % k) as u8).collect();
+        let mut out = vec![0.0f32; n];
+        scan_pq_into(&codes, m, &lut, &mut out);
+        for r in 0..n {
+            let reference = dot_pq(&codes[r * m..(r + 1) * m], &lut);
+            assert_eq!(out[r].to_bits(), reference.to_bits(), "row {r}");
         }
     }
 

@@ -22,7 +22,9 @@
 //! bit-level f16↔f32 conversion for the half-precision row-storage
 //! tier scored by [`dot_f16`]/[`gemv_f16_into`]; the SQ8 quantized
 //! row tier is scored by [`dot_sq8`]/[`gemv_sq8_into`], dequantizing
-//! u8 codes on the fly in the same canonical order. Everything is
+//! u8 codes on the fly in the same canonical order; and the PQ tier is
+//! scored asymmetrically through per-query lookup tables built by
+//! [`pq_lut_into`] and summed by [`dot_pq`]/[`scan_pq_into`]. Everything is
 //! deterministic, allocation conscious, and needs no BLAS dependency;
 //! see the [`kernels`] docs for the exact contracts (accumulation
 //! order, tier equivalence, determinism, panics).
@@ -39,8 +41,9 @@ pub mod vector;
 pub use dense::DenseMatrix;
 pub use half::{decode_f16_into, encode_f16, f16_from_f32, f32_from_f16};
 pub use kernels::{
-    axpy, dot, dot_f16, dot_scalar, dot_sq8, gemv1_f16_into, gemv1_into, gemv1_sq8_into,
-    gemv_f16_into, gemv_into, gemv_sq8_into, normalize_rows, scale_add,
+    axpy, dot, dot_f16, dot_pq, dot_scalar, dot_sq8, gemv1_f16_into, gemv1_into, gemv1_sq8_into,
+    gemv_f16_into, gemv_into, gemv_sq8_into, normalize_rows, pq_lut_into, scale_add, scan_pq_into,
+    PQ_LUT_STRIDE,
 };
 pub use simd::{active_tier, available_tiers, detect_tier, force_tier, tier_supported, Tier};
 pub use sparse::{CsrMatrix, Triplet};

@@ -284,6 +284,86 @@ proptest! {
     }
 
     #[test]
+    fn every_tier_dot_pq_is_bitwise_equal_to_scalar(
+        m in lane_edge_len(),
+        seed in 0u64..u64::MAX,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let codes: Vec<u8> = (0..m).map(|_| rng.gen()).collect();
+        let lut: Vec<f32> = (0..m * kernels::PQ_LUT_STRIDE)
+            .map(|_| rng.gen_range(-5.0f32..5.0))
+            .collect();
+        let reference = kernels::dot_pq_with(Tier::Scalar, &codes, &lut);
+        for tier in available_tiers() {
+            let got = kernels::dot_pq_with(tier, &codes, &lut);
+            prop_assert_eq!(
+                got.to_bits(), reference.to_bits(),
+                "dot_pq m {} tier {}: {} vs {}", m, tier.name(), got, reference
+            );
+        }
+        prop_assert_eq!(kernels::dot_pq(&codes, &lut).to_bits(), reference.to_bits());
+    }
+
+    #[test]
+    fn every_tier_scan_pq_is_bitwise_equal_to_scalar(
+        m in lane_edge_len().prop_map(|l| l.max(1)),
+        n in 0usize..23, // sweeps the SIMD row-group remainders too
+        seed in 0u64..u64::MAX,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let codes: Vec<u8> = (0..n * m).map(|_| rng.gen()).collect();
+        let lut: Vec<f32> = (0..m * kernels::PQ_LUT_STRIDE)
+            .map(|_| rng.gen_range(-5.0f32..5.0))
+            .collect();
+        let mut reference = vec![0.0f32; n];
+        kernels::scan_pq_into_with(Tier::Scalar, &codes, m, &lut, &mut reference);
+        // The scalar scan must equal per-row dot_pq.
+        for r in 0..n {
+            prop_assert_eq!(
+                reference[r].to_bits(),
+                kernels::dot_pq_with(Tier::Scalar, &codes[r * m..(r + 1) * m], &lut).to_bits()
+            );
+        }
+        for tier in available_tiers() {
+            let mut got = vec![0.0f32; n];
+            kernels::scan_pq_into_with(tier, &codes, m, &lut, &mut got);
+            for r in 0..n {
+                prop_assert_eq!(
+                    got[r].to_bits(), reference[r].to_bits(),
+                    "scan_pq m {} n {} row {} tier {}", m, n, r, tier.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_tier_pq_lut_is_bitwise_equal_to_scalar(
+        dsub in lane_edge_len().prop_map(|l| l.max(1)),
+        m in 1usize..5,
+        k in 1usize..17,
+        seed in 0u64..u64::MAX,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let codebooks: Vec<f32> = (0..m * k * dsub).map(|_| rng.gen_range(-5.0f32..5.0)).collect();
+        let query: Vec<f32> = (0..m * dsub).map(|_| rng.gen_range(-5.0f32..5.0)).collect();
+        let mut reference = vec![f32::NAN; m * kernels::PQ_LUT_STRIDE];
+        kernels::pq_lut_into_with(Tier::Scalar, &codebooks, m, k, &query, &mut reference);
+        for tier in available_tiers() {
+            let mut got = vec![f32::NAN; m * kernels::PQ_LUT_STRIDE];
+            kernels::pq_lut_into_with(tier, &codebooks, m, k, &query, &mut got);
+            for i in 0..reference.len() {
+                prop_assert_eq!(
+                    got[i].to_bits(), reference[i].to_bits(),
+                    "pq_lut dsub {} m {} k {} slot {} tier {}", dsub, m, k, i, tier.name()
+                );
+            }
+        }
+    }
+
+    #[test]
     fn every_tier_gemv_sq8_is_bitwise_equal_to_scalar(
         dim in lane_edge_len().prop_map(|l| l.max(1)),
         n in 0usize..23,

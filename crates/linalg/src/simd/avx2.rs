@@ -25,7 +25,7 @@
 //! `avx2` and `f16c` (see [`super::tier_supported`]).
 #![allow(unsafe_code)] // std::arch intrinsics: soundness argued at the dispatch site (simd/mod.rs).
 
-use super::{combine, LANES};
+use super::{combine, LANES, PQ_LUT_STRIDE};
 use crate::half::f32_from_f16;
 use core::arch::x86_64::*;
 
@@ -124,6 +124,110 @@ pub(crate) unsafe fn dot_sq8(codes: &[u8], scale: f32, offset: f32, query: &[f32
         tail += (offset + scale * codes[i] as f32) * query[i];
     }
     reduce(acc, tail)
+}
+
+/// Per-subspace LUT base offsets for one eight-subspace chunk:
+/// `[0, 1, .., 7] * PQ_LUT_STRIDE`.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn pq_step() -> __m256i {
+    const S: i32 = PQ_LUT_STRIDE as i32;
+    _mm256_setr_epi32(0, S, 2 * S, 3 * S, 4 * S, 5 * S, 6 * S, 7 * S)
+}
+
+/// Gather the eight LUT entries for one chunk of codes: widen the u8
+/// codes (`VPMOVZXBD`, exact), add the subspace base offsets, and
+/// vector-gather from the table (`VGATHERDPS` — plain loads, so the
+/// gathered values are bit-identical to scalar indexing).
+///
+/// # Safety
+/// Requires AVX2; `p` must point at 8 readable codes and `lut` at a
+/// full `m * PQ_LUT_STRIDE` table whose chunk base is encoded in
+/// `base`, so every index `base[l] + code` is in bounds for any `u8`.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn lut_gather(p: *const u8, base: __m256i, lut: *const f32) -> __m256 {
+    let idx = _mm256_add_epi32(
+        base,
+        _mm256_cvtepu8_epi32(_mm_loadl_epi64(p as *const __m128i)),
+    );
+    _mm256_i32gather_ps::<4>(lut, idx)
+}
+
+/// Canonical ADC score of one PQ-coded row (see the scalar reference
+/// for the table layout and accumulation order).
+///
+/// # Safety
+/// Requires AVX2; `lut.len() == codes.len() * PQ_LUT_STRIDE` must hold.
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn dot_pq(codes: &[u8], lut: &[f32]) -> f32 {
+    debug_assert_eq!(lut.len(), codes.len() * PQ_LUT_STRIDE);
+    let m = codes.len();
+    let chunks = m / LANES;
+    let (pc, pl) = (codes.as_ptr(), lut.as_ptr());
+    let step = pq_step();
+    let mut acc = _mm256_setzero_ps();
+    for i in 0..chunks {
+        let base = _mm256_add_epi32(step, _mm256_set1_epi32((i * LANES * PQ_LUT_STRIDE) as i32));
+        acc = _mm256_add_ps(acc, lut_gather(pc.add(i * LANES), base, pl));
+    }
+    let mut tail = 0.0f32;
+    for s in chunks * LANES..m {
+        tail += lut[s * PQ_LUT_STRIDE + codes[s] as usize];
+    }
+    reduce(acc, tail)
+}
+
+/// Single-query ADC scan over PQ-coded rows, four rows in flight (the
+/// gathers of the four rows form independent dependency chains, which
+/// hides `VGATHERDPS` latency the same way the GEMV kernels hide
+/// FP-add latency).
+///
+/// # Safety
+/// Requires AVX2; `codes.len() == out.len() * m` and
+/// `lut.len() == m * PQ_LUT_STRIDE` must hold.
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn scan_pq(codes: &[u8], m: usize, lut: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(codes.len(), out.len() * m);
+    debug_assert_eq!(lut.len(), m * PQ_LUT_STRIDE);
+    let n = out.len();
+    let chunks = m / LANES;
+    let pl = lut.as_ptr();
+    let step = pq_step();
+    let mut r = 0;
+    while r + ROW_GROUP <= n {
+        let p0 = codes.as_ptr().add(r * m);
+        let (p1, p2, p3) = (p0.add(m), p0.add(2 * m), p0.add(3 * m));
+        let mut a0 = _mm256_setzero_ps();
+        let mut a1 = _mm256_setzero_ps();
+        let mut a2 = _mm256_setzero_ps();
+        let mut a3 = _mm256_setzero_ps();
+        for i in 0..chunks {
+            let off = i * LANES;
+            let base = _mm256_add_epi32(step, _mm256_set1_epi32((off * PQ_LUT_STRIDE) as i32));
+            a0 = _mm256_add_ps(a0, lut_gather(p0.add(off), base, pl));
+            a1 = _mm256_add_ps(a1, lut_gather(p1.add(off), base, pl));
+            a2 = _mm256_add_ps(a2, lut_gather(p2.add(off), base, pl));
+            a3 = _mm256_add_ps(a3, lut_gather(p3.add(off), base, pl));
+        }
+        let (mut t0, mut t1, mut t2, mut t3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+        for s in chunks * LANES..m {
+            let base = s * PQ_LUT_STRIDE;
+            t0 += lut[base + *p0.add(s) as usize];
+            t1 += lut[base + *p1.add(s) as usize];
+            t2 += lut[base + *p2.add(s) as usize];
+            t3 += lut[base + *p3.add(s) as usize];
+        }
+        out[r] = reduce(a0, t0);
+        out[r + 1] = reduce(a1, t1);
+        out[r + 2] = reduce(a2, t2);
+        out[r + 3] = reduce(a3, t3);
+        r += ROW_GROUP;
+    }
+    while r < n {
+        out[r] = dot_pq(&codes[r * m..(r + 1) * m], lut);
+        r += 1;
+    }
 }
 
 /// Rows scored per inner-loop group in the GEMV kernels: four

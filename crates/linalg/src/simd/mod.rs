@@ -1,7 +1,7 @@
 //! Runtime-dispatched SIMD backends for the scoring kernels.
 //!
 //! Three tiers implement the same kernel set (`dot`, single/multi-query
-//! GEMV, and their f16- and sq8-row variants):
+//! GEMV, their f16- and sq8-row variants, and the PQ ADC scan):
 //!
 //! * [`Tier::Scalar`] — the portable lane-unrolled reference (the
 //!   `scalar` submodule). This is the *bit-exactness reference*: the
@@ -41,6 +41,13 @@ use std::sync::atomic::{AtomicU8, Ordering};
 /// Accumulator lanes in the canonical dot product. Eight `f32` lanes
 /// fill one 256-bit AVX2 register (or two NEON `float32x4_t`).
 pub(crate) const LANES: usize = 8;
+
+/// Entries per subspace in a PQ lookup table, fixed at the full `u8`
+/// code range. Tables are always allocated at this stride (entries past
+/// the trained centroid count are zero-filled), so `s * STRIDE + code`
+/// is in bounds for *any* `u8` code — this is what keeps the AVX2
+/// vector gather sound without per-element code validation.
+pub const PQ_LUT_STRIDE: usize = 256;
 
 pub(crate) mod scalar;
 
@@ -282,6 +289,18 @@ pub(crate) fn dispatch_dot_sq8(
     b: &[f32],
 ) -> f32 {
     dispatch!(tier, dot_sq8(codes, scale, offset, b))
+}
+
+#[allow(unsafe_code)] // feature-checked dispatch: see the Safety note above.
+#[inline]
+pub(crate) fn dispatch_dot_pq(tier: Tier, codes: &[u8], lut: &[f32]) -> f32 {
+    dispatch!(tier, dot_pq(codes, lut))
+}
+
+#[allow(unsafe_code)] // feature-checked dispatch: see the Safety note above.
+#[inline]
+pub(crate) fn dispatch_scan_pq(tier: Tier, codes: &[u8], m: usize, lut: &[f32], out: &mut [f32]) {
+    dispatch!(tier, scan_pq(codes, m, lut, out))
 }
 
 #[allow(unsafe_code)] // feature-checked dispatch: see the Safety note above.

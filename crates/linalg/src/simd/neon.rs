@@ -21,7 +21,7 @@
 //! operation order.
 #![allow(unsafe_code)] // std::arch intrinsics: soundness argued at the dispatch site (simd/mod.rs).
 
-use super::{combine, LANES};
+use super::{combine, LANES, PQ_LUT_STRIDE};
 use crate::half::f32_from_f16;
 use core::arch::aarch64::*;
 
@@ -147,6 +147,87 @@ pub(crate) unsafe fn dot_sq8(codes: &[u8], scale: f32, offset: f32, query: &[f32
         tail += (offset + scale * codes[i] as f32) * query[i];
     }
     reduce(lo, hi, tail)
+}
+
+/// Gather the eight LUT entries for one chunk of PQ codes into a stack
+/// buffer (NEON has no vector gather; scalar loads are exact, so this
+/// is bit-identical to the scalar reference's indexing).
+#[inline]
+fn pq_gather_chunk(codes8: &[u8], base_s: usize, lut: &[f32]) -> [f32; LANES] {
+    let mut buf = [0.0f32; LANES];
+    for (l, (d, &c)) in buf.iter_mut().zip(codes8).enumerate() {
+        *d = lut[(base_s + l) * PQ_LUT_STRIDE + c as usize];
+    }
+    buf
+}
+
+/// Canonical ADC score of one PQ-coded row (see the scalar reference
+/// for the table layout and accumulation order).
+///
+/// # Safety
+/// Requires NEON; `lut.len() == codes.len() * PQ_LUT_STRIDE` must hold.
+#[target_feature(enable = "neon")]
+pub(crate) unsafe fn dot_pq(codes: &[u8], lut: &[f32]) -> f32 {
+    debug_assert_eq!(lut.len(), codes.len() * PQ_LUT_STRIDE);
+    let m = codes.len();
+    let chunks = m / LANES;
+    let mut lo = vdupq_n_f32(0.0);
+    let mut hi = vdupq_n_f32(0.0);
+    for i in 0..chunks {
+        let off = i * LANES;
+        let g = pq_gather_chunk(&codes[off..off + LANES], off, lut);
+        lo = vaddq_f32(lo, vld1q_f32(g.as_ptr()));
+        hi = vaddq_f32(hi, vld1q_f32(g.as_ptr().add(4)));
+    }
+    let mut tail = 0.0f32;
+    for s in chunks * LANES..m {
+        tail += lut[s * PQ_LUT_STRIDE + codes[s] as usize];
+    }
+    reduce(lo, hi, tail)
+}
+
+/// Single-query ADC scan over PQ-coded rows, two rows in flight.
+///
+/// # Safety
+/// Requires NEON; `codes.len() == out.len() * m` and
+/// `lut.len() == m * PQ_LUT_STRIDE` must hold.
+#[target_feature(enable = "neon")]
+pub(crate) unsafe fn scan_pq(codes: &[u8], m: usize, lut: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(codes.len(), out.len() * m);
+    debug_assert_eq!(lut.len(), m * PQ_LUT_STRIDE);
+    let n = out.len();
+    let chunks = m / LANES;
+    let mut r = 0;
+    while r + ROW_GROUP <= n {
+        let row0 = &codes[r * m..(r + 1) * m];
+        let row1 = &codes[(r + 1) * m..(r + 2) * m];
+        let mut lo0 = vdupq_n_f32(0.0);
+        let mut hi0 = vdupq_n_f32(0.0);
+        let mut lo1 = vdupq_n_f32(0.0);
+        let mut hi1 = vdupq_n_f32(0.0);
+        for i in 0..chunks {
+            let off = i * LANES;
+            let g0 = pq_gather_chunk(&row0[off..off + LANES], off, lut);
+            let g1 = pq_gather_chunk(&row1[off..off + LANES], off, lut);
+            lo0 = vaddq_f32(lo0, vld1q_f32(g0.as_ptr()));
+            hi0 = vaddq_f32(hi0, vld1q_f32(g0.as_ptr().add(4)));
+            lo1 = vaddq_f32(lo1, vld1q_f32(g1.as_ptr()));
+            hi1 = vaddq_f32(hi1, vld1q_f32(g1.as_ptr().add(4)));
+        }
+        let (mut t0, mut t1) = (0.0f32, 0.0f32);
+        for s in chunks * LANES..m {
+            let base = s * PQ_LUT_STRIDE;
+            t0 += lut[base + row0[s] as usize];
+            t1 += lut[base + row1[s] as usize];
+        }
+        out[r] = reduce(lo0, hi0, t0);
+        out[r + 1] = reduce(lo1, hi1, t1);
+        r += ROW_GROUP;
+    }
+    while r < n {
+        out[r] = dot_pq(&codes[r * m..(r + 1) * m], lut);
+        r += 1;
+    }
 }
 
 /// Rows scored per inner-loop group: two rows × two accumulators each

@@ -12,7 +12,7 @@
 //! SIMD even here, which is what made this the fast path before the
 //! explicit backends existed.
 
-use super::{combine, LANES};
+use super::{combine, LANES, PQ_LUT_STRIDE};
 use crate::half::f32_from_f16;
 
 /// Canonical inner product (see module docs for the exact order).
@@ -76,6 +76,44 @@ pub(crate) fn dot_sq8(codes: &[u8], scale: f32, offset: f32, query: &[f32]) -> f
         tail += (offset + scale * *x as f32) * y;
     }
     combine(acc, tail)
+}
+
+/// Canonical ADC (asymmetric-distance) score of one PQ-coded row
+/// against a per-query lookup table. The table holds
+/// [`PQ_LUT_STRIDE`] entries per subspace, so the entry for subspace
+/// `s` and code `c` lives at `lut[s * PQ_LUT_STRIDE + c]`; any `u8`
+/// code is therefore in bounds by construction (codes ≥ the trained
+/// centroid count read the zero padding). Accumulation is the same
+/// eight-lane chunk order as [`dot`] — `acc[l] += entry` over chunks
+/// of eight subspaces, a strictly left-to-right tail, and the fixed
+/// [`combine`] reduction — which is the sequence the AVX2 gather and
+/// NEON backends replay bit for bit.
+pub(crate) fn dot_pq(codes: &[u8], lut: &[f32]) -> f32 {
+    debug_assert_eq!(lut.len(), codes.len() * PQ_LUT_STRIDE);
+    let m = codes.len();
+    let chunks = m / LANES;
+    let mut acc = [0.0f32; LANES];
+    for i in 0..chunks {
+        let base = i * LANES;
+        for (l, a) in acc.iter_mut().enumerate() {
+            let s = base + l;
+            *a += lut[s * PQ_LUT_STRIDE + codes[s] as usize];
+        }
+    }
+    let mut tail = 0.0f32;
+    for s in chunks * LANES..m {
+        tail += lut[s * PQ_LUT_STRIDE + codes[s] as usize];
+    }
+    combine(acc, tail)
+}
+
+/// Single-query ADC scan: `out[r] = dot_pq(codes[r], lut)` for rows of
+/// `m` codes each.
+pub(crate) fn scan_pq(codes: &[u8], m: usize, lut: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(codes.len(), out.len() * m);
+    for (o, row) in out.iter_mut().zip(codes.chunks_exact(m)) {
+        *o = dot_pq(row, lut);
+    }
 }
 
 /// Single-query GEMV: `out[r] = rows[r] · query`, each score by

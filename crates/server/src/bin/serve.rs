@@ -9,6 +9,11 @@
 //! # First run preprocesses and saves the index; every later run
 //! # mmaps it back in milliseconds instead of rebuilding:
 //! cargo run --release --bin serve -- --index /tmp/seesaw.ssawidx
+//!
+//! # Pick the store backend / row precision for the first build
+//! # (loaded index files carry their own store; e.g. a PQ tier):
+//! SEESAW_STORE=exact SEESAW_PRECISION=pq16x8 \
+//!     cargo run --release --bin serve -- --index /tmp/seesaw-pq.ssawidx
 //! ```
 //!
 //! Then speak one JSON line per request, e.g. with netcat:
@@ -24,6 +29,7 @@
 use seesaw_core::{load_index, save_index, PreprocessConfig, Preprocessor, SearchService};
 use seesaw_dataset::DatasetSpec;
 use seesaw_server::{Server, ServerConfig};
+use seesaw_vecstore::{RowPrecision, StoreConfig};
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
@@ -47,7 +53,26 @@ fn main() {
             .with_max_queries(16)
             .generate(7),
     );
-    let cfg = PreprocessConfig::fast();
+    // `SEESAW_STORE` / `SEESAW_PRECISION` select the store for a fresh
+    // build (a loaded index file carries its own store, so they are
+    // irrelevant on the cold-start path). `pq<m>x<nbits>` precisions
+    // give the served index the byte-per-element ADC scan tier.
+    let mut cfg = PreprocessConfig::fast();
+    if let Ok(name) = std::env::var("SEESAW_STORE") {
+        cfg.store = StoreConfig::from_backend_name(&name)
+            .unwrap_or_else(|| panic!("SEESAW_STORE={name:?}: expected forest, exact, or ivf"));
+    }
+    if let Ok(name) = std::env::var("SEESAW_PRECISION") {
+        let p = RowPrecision::parse(&name).unwrap_or_else(|| {
+            panic!("SEESAW_PRECISION={name:?}: expected f32, f16, sq8, or pq<m>x<nbits>")
+        });
+        cfg.store = cfg.store.with_precision(p);
+        eprintln!(
+            "[serve] store: {} / {}",
+            cfg.store.backend_name(),
+            p.label()
+        );
+    }
 
     let index = match &index_path {
         Some(path) if path.exists() => {

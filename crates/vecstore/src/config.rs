@@ -6,7 +6,7 @@
 
 use crate::{
     ExactStore, Hit, IvfConfig, IvfStore, KeepFn, RowPrecision, RpForest, RpForestConfig,
-    ShardedStore, VectorStore,
+    ShardedStore, VectorStore, SQ8_RERANK_FACTOR,
 };
 
 /// Which vector-store backend to build, each optionally sharded
@@ -21,6 +21,8 @@ pub enum StoreConfig {
         shards: usize,
         /// Row storage precision (`f32` default, `f16` half-width).
         precision: RowPrecision,
+        /// Re-rank pool factor for the quantized tiers (SQ8, PQ).
+        rerank_factor: usize,
     },
     /// Annoy-style random-projection forest (the paper's store).
     RpForest {
@@ -37,6 +39,8 @@ pub enum StoreConfig {
         shards: usize,
         /// Row storage precision (`f32` default, `f16` half-width).
         precision: RowPrecision,
+        /// Re-rank pool factor for the quantized tiers (SQ8, PQ).
+        rerank_factor: usize,
     },
 }
 
@@ -53,6 +57,7 @@ impl StoreConfig {
         Self::Exact {
             shards: 0,
             precision: RowPrecision::F32,
+            rerank_factor: SQ8_RERANK_FACTOR,
         }
     }
 
@@ -67,6 +72,7 @@ impl StoreConfig {
             config,
             shards: 0,
             precision: RowPrecision::F32,
+            rerank_factor: SQ8_RERANK_FACTOR,
         }
     }
 
@@ -88,6 +94,33 @@ impl StoreConfig {
             Self::RpForest { .. } => {}
         }
         self
+    }
+
+    /// Set the quantized-tier re-rank pool factor (builder style):
+    /// `k × factor` candidates survive the SQ8/PQ code scan and get
+    /// exact re-scoring against the f32 source rows. A no-op on the
+    /// RP forest. Default [`SQ8_RERANK_FACTOR`].
+    ///
+    /// # Panics
+    /// Panics when `factor` is zero.
+    pub fn with_rerank_factor(mut self, factor: usize) -> Self {
+        assert!(factor >= 1, "rerank factor must be at least 1");
+        match &mut self {
+            Self::Exact { rerank_factor, .. } | Self::Ivf { rerank_factor, .. } => {
+                *rerank_factor = factor
+            }
+            Self::RpForest { .. } => {}
+        }
+        self
+    }
+
+    /// The quantized-tier re-rank pool factor (the RP forest reports
+    /// the default).
+    pub fn rerank_factor(&self) -> usize {
+        match self {
+            Self::Exact { rerank_factor, .. } | Self::Ivf { rerank_factor, .. } => *rerank_factor,
+            Self::RpForest { .. } => SQ8_RERANK_FACTOR,
+        }
     }
 
     /// Shard count (`0` normalizes to `1`).
@@ -148,12 +181,20 @@ impl StoreConfig {
     pub fn build(&self, dim: usize, data: Vec<f32>) -> AnyStore {
         let shards = self.shards();
         match self {
-            Self::Exact { precision, .. } => {
+            Self::Exact {
+                precision,
+                rerank_factor,
+                ..
+            } => {
                 if shards <= 1 {
-                    AnyStore::Exact(ExactStore::with_precision(dim, data, *precision))
+                    AnyStore::Exact(
+                        ExactStore::with_precision(dim, data, *precision)
+                            .with_rerank_factor(*rerank_factor),
+                    )
                 } else {
                     AnyStore::ShardedExact(ShardedStore::build(dim, data, shards, |d, buf| {
                         ExactStore::with_precision(d, buf, *precision)
+                            .with_rerank_factor(*rerank_factor)
                     }))
                 }
             }
@@ -167,18 +208,20 @@ impl StoreConfig {
                 }
             }
             Self::Ivf {
-                config, precision, ..
+                config,
+                precision,
+                rerank_factor,
+                ..
             } => {
                 if shards <= 1 {
-                    AnyStore::Ivf(IvfStore::build_with_precision(
-                        dim,
-                        data,
-                        config.clone(),
-                        *precision,
-                    ))
+                    AnyStore::Ivf(
+                        IvfStore::build_with_precision(dim, data, config.clone(), *precision)
+                            .with_rerank_factor(*rerank_factor),
+                    )
                 } else {
                     AnyStore::ShardedIvf(ShardedStore::build(dim, data, shards, |d, buf| {
                         IvfStore::build_with_precision(d, buf, config.clone(), *precision)
+                            .with_rerank_factor(*rerank_factor)
                     }))
                 }
             }

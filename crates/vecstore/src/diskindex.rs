@@ -49,10 +49,10 @@ use std::ops::Deref;
 use std::path::Path;
 use std::sync::Arc;
 
-use crate::storage::{RowPrecision, RowStorage, Sq8Rows};
+use crate::storage::{PqRows, RowPrecision, RowStorage, Sq8Rows};
 use crate::{
     AnyStore, ExactStore, IvfConfig, IvfStore, RpForestConfig, ShardedStore, StoreConfig,
-    VectorStore,
+    VectorStore, SQ8_RERANK_FACTOR,
 };
 
 #[cfg(target_endian = "big")]
@@ -103,6 +103,15 @@ pub mod section {
     pub const IVF_LIST_IDS: u32 = 9;
     /// Raw f32 rows in original order, for rebuild-on-load backends.
     pub const RAW_ROWS: u32 = 10;
+    /// PQ codebooks (`m × k × dsub` f32, subspace-major).
+    pub const PQ_CODEBOOKS: u32 = 11;
+    /// PQ u8 code matrix (`n_rows × m`, row-major).
+    pub const PQ_CODES: u32 = 12;
+    /// Exact f32 re-rank source rows for a quantized tier. Written as
+    /// part of every PQ index, and as the sole section of the sidecar
+    /// file [`super::spill_rerank_rows`] produces; loaded as a mapped
+    /// (demand-paged) view either way.
+    pub const PQ_RERANK_ROWS: u32 = 13;
 }
 
 /// Errors from writing, mapping, or parsing an index file.
@@ -765,20 +774,14 @@ const BACKEND_EXACT: u32 = 0;
 const BACKEND_FOREST: u32 = 1;
 const BACKEND_IVF: u32 = 2;
 
+const PRECISION_TAG_PQ: u32 = 3;
+
 fn precision_tag(p: RowPrecision) -> u32 {
     match p {
         RowPrecision::F32 => 0,
         RowPrecision::F16 => 1,
         RowPrecision::Sq8 => 2,
-    }
-}
-
-fn precision_from_tag(tag: u32) -> Result<RowPrecision, DiskIndexError> {
-    match tag {
-        0 => Ok(RowPrecision::F32),
-        1 => Ok(RowPrecision::F16),
-        2 => Ok(RowPrecision::Sq8),
-        _ => Err(DiskIndexError::BadHeader("unknown precision tag")),
+        RowPrecision::Pq { .. } => PRECISION_TAG_PQ,
     }
 }
 
@@ -821,6 +824,14 @@ fn encode_meta(config: &StoreConfig, dim: usize, n_rows: usize) -> Vec<u8> {
     for x in extras {
         w.extend_from_slice(&x.to_le_bytes());
     }
+    // Trailing extras after the backend block, length-driven on decode
+    // (older files omit them entirely): the quantized-tier re-rank
+    // pool factor, and the PQ geometry when the precision is PQ.
+    w.extend_from_slice(&(config.rerank_factor() as u64).to_le_bytes());
+    if let RowPrecision::Pq { m, nbits } = config.precision() {
+        w.extend_from_slice(&(m as u64).to_le_bytes());
+        w.extend_from_slice(&(nbits as u64).to_le_bytes());
+    }
     w
 }
 
@@ -830,50 +841,91 @@ fn decode_meta(bytes: &[u8]) -> Result<StoreMeta, DiskIndexError> {
         return Err(DiskIndexError::BadHeader("store meta too short"));
     }
     let backend = read_u32(bytes, 0);
-    let precision = precision_from_tag(read_u32(bytes, 4))?;
+    let precision_tag = read_u32(bytes, 4);
     let shards = read_u64(bytes, 8) as usize;
     let dim = read_u64(bytes, 16) as usize;
     let n_rows = read_u64(bytes, 24) as usize;
     if dim == 0 {
         return Err(DiskIndexError::BadHeader("store meta has zero dim"));
     }
-    let extras = |n: usize| -> Result<Vec<u64>, DiskIndexError> {
-        if bytes.len() != fixed + 8 * n {
-            return Err(DiskIndexError::BadHeader("store meta length mismatch"));
+    let n_backend = match backend {
+        BACKEND_EXACT => 0,
+        BACKEND_FOREST | BACKEND_IVF => 4,
+        _ => return Err(DiskIndexError::BadHeader("unknown backend tag")),
+    };
+    let backend_end = fixed + 8 * n_backend;
+    if bytes.len() < backend_end {
+        return Err(DiskIndexError::BadHeader("store meta length mismatch"));
+    }
+    let e: Vec<u64> = (0..n_backend)
+        .map(|i| read_u64(bytes, fixed + 8 * i))
+        .collect();
+    // Trailing extras, length-driven so pre-PQ files (no tail) keep
+    // decoding: 8 bytes carry the re-rank pool factor, 24 add the PQ
+    // geometry (required when the precision tag is PQ).
+    let (rerank_factor, pq_geom) = match bytes.len() - backend_end {
+        0 => (SQ8_RERANK_FACTOR as u64, None),
+        8 => (read_u64(bytes, backend_end), None),
+        24 => (
+            read_u64(bytes, backend_end),
+            Some((
+                read_u64(bytes, backend_end + 8),
+                read_u64(bytes, backend_end + 16),
+            )),
+        ),
+        _ => return Err(DiskIndexError::BadHeader("store meta length mismatch")),
+    };
+    if rerank_factor == 0 {
+        return Err(DiskIndexError::BadHeader(
+            "store meta has zero rerank factor",
+        ));
+    }
+    let rerank_factor = rerank_factor as usize;
+    let precision = match precision_tag {
+        0 => RowPrecision::F32,
+        1 => RowPrecision::F16,
+        2 => RowPrecision::Sq8,
+        PRECISION_TAG_PQ => {
+            let Some((m, nbits)) = pq_geom else {
+                return Err(DiskIndexError::BadHeader("pq store meta missing geometry"));
+            };
+            if m == 0 || !(1..=8).contains(&nbits) || !(dim as u64).is_multiple_of(m) {
+                return Err(DiskIndexError::BadHeader("pq store meta geometry invalid"));
+            }
+            RowPrecision::Pq {
+                m: m as usize,
+                nbits: nbits as u32,
+            }
         }
-        Ok((0..n).map(|i| read_u64(bytes, fixed + 8 * i)).collect())
+        _ => return Err(DiskIndexError::BadHeader("unknown precision tag")),
     };
     let config = match backend {
-        BACKEND_EXACT => {
-            extras(0)?;
-            StoreConfig::Exact { shards, precision }
-        }
-        BACKEND_FOREST => {
-            let e = extras(4)?;
-            StoreConfig::RpForest {
-                config: RpForestConfig {
-                    n_trees: e[0] as usize,
-                    leaf_size: e[1] as usize,
-                    search_k: e[2] as usize,
-                    seed: e[3],
-                },
-                shards,
-            }
-        }
-        BACKEND_IVF => {
-            let e = extras(4)?;
-            StoreConfig::Ivf {
-                config: IvfConfig {
-                    n_lists: e[0] as usize,
-                    n_probe: e[1] as usize,
-                    train_iters: e[2] as usize,
-                    seed: e[3],
-                },
-                shards,
-                precision,
-            }
-        }
-        _ => return Err(DiskIndexError::BadHeader("unknown backend tag")),
+        BACKEND_EXACT => StoreConfig::Exact {
+            shards,
+            precision,
+            rerank_factor,
+        },
+        BACKEND_FOREST => StoreConfig::RpForest {
+            config: RpForestConfig {
+                n_trees: e[0] as usize,
+                leaf_size: e[1] as usize,
+                search_k: e[2] as usize,
+                seed: e[3],
+            },
+            shards,
+        },
+        BACKEND_IVF => StoreConfig::Ivf {
+            config: IvfConfig {
+                n_lists: e[0] as usize,
+                n_probe: e[1] as usize,
+                train_iters: e[2] as usize,
+                seed: e[3],
+            },
+            shards,
+            precision,
+            rerank_factor,
+        },
+        _ => unreachable!("backend tag validated above"),
     };
     Ok(StoreMeta {
         config,
@@ -898,6 +950,11 @@ fn row_sections(builder: &mut IndexFileBuilder, rows: &RowStorage) {
             builder.section(section::SQ8_CODES, q.codes().to_vec());
             builder.section(section::SQ8_PARAMS, le_bytes_f32(q.params()));
             builder.section(section::SQ8_SOURCE, le_bytes_f32(q.source()));
+        }
+        RowStorage::Pq(p) => {
+            builder.section(section::PQ_CODES, p.codes().to_vec());
+            builder.section(section::PQ_CODEBOOKS, le_bytes_f32(p.codebooks()));
+            builder.section(section::PQ_RERANK_ROWS, le_bytes_f32(p.source()));
         }
     }
 }
@@ -924,6 +981,32 @@ fn rows_from_file(
             RowStorage::Sq8(Sq8Rows::from_parts(
                 codes.into(),
                 params.into(),
+                source.into(),
+            ))
+        }
+        RowPrecision::Pq { m, nbits } => {
+            // decode_meta validated m | dim, m > 0, 1 ≤ nbits ≤ 8.
+            let dsub = dim / m;
+            let k = 1usize << nbits;
+            let codes = file.section_slice::<u8>(section::PQ_CODES)?;
+            let codebooks = file.section_slice::<f32>(section::PQ_CODEBOOKS)?;
+            let source = file.section_slice::<f32>(section::PQ_RERANK_ROWS)?;
+            if codes.len() != n_rows * m || codebooks.len() != m * k * dsub {
+                return Err(DiskIndexError::BadHeader("pq section shape mismatch"));
+            }
+            if !source.is_empty() && source.len() != want {
+                return Err(DiskIndexError::BadHeader("pq section shape mismatch"));
+            }
+            // Every section stays a mapped view. The re-rank source in
+            // particular is demand-paged: queries fault in only the
+            // pool they re-rank, so steady-state residency is codes +
+            // codebooks (see `RowStorage::resident_bytes`).
+            RowStorage::Pq(PqRows::from_parts(
+                m,
+                nbits,
+                dsub,
+                codes.into(),
+                codebooks.into(),
                 source.into(),
             ))
         }
@@ -966,6 +1049,7 @@ pub fn encode_store(store: &AnyStore) -> Vec<u8> {
             StoreConfig::Exact {
                 shards: 1,
                 precision: s.precision(),
+                rerank_factor: s.rerank_factor(),
             }
         }
         AnyStore::Ivf(s) => {
@@ -984,6 +1068,7 @@ pub fn encode_store(store: &AnyStore) -> Vec<u8> {
                 config: s.config().clone(),
                 shards: 1,
                 precision: s.precision(),
+                rerank_factor: s.rerank_factor(),
             }
         }
         AnyStore::Forest(s) => {
@@ -1002,6 +1087,7 @@ pub fn encode_store(store: &AnyStore) -> Vec<u8> {
             StoreConfig::Exact {
                 shards: s.n_shards(),
                 precision,
+                rerank_factor: s.shard_store(0).rerank_factor(),
             }
         }
         AnyStore::ShardedForest(s) => {
@@ -1025,6 +1111,7 @@ pub fn encode_store(store: &AnyStore) -> Vec<u8> {
                 config: s.shard_store(0).config().clone(),
                 shards: s.n_shards(),
                 precision: s.shard_store(0).precision(),
+                rerank_factor: s.shard_store(0).rerank_factor(),
             }
         }
     };
@@ -1078,12 +1165,21 @@ pub fn store_from_file(file: &IndexFile) -> Result<AnyStore, DiskIndexError> {
         return Ok(config.build(dim, raw.to_vec()));
     }
     match config {
-        StoreConfig::Exact { precision, .. } => {
+        StoreConfig::Exact {
+            precision,
+            rerank_factor,
+            ..
+        } => {
             let rows = rows_from_file(file, precision, dim, n_rows)?;
-            Ok(AnyStore::Exact(ExactStore::from_storage(dim, rows)))
+            Ok(AnyStore::Exact(
+                ExactStore::from_storage(dim, rows).with_rerank_factor(rerank_factor),
+            ))
         }
         StoreConfig::Ivf {
-            config, precision, ..
+            config,
+            precision,
+            rerank_factor,
+            ..
         } => {
             let rows = rows_from_file(file, precision, dim, n_rows)?;
             let centroids = file.section_slice::<f32>(section::IVF_CENTROIDS)?.to_vec();
@@ -1111,9 +1207,10 @@ pub fn store_from_file(file: &IndexFile) -> Result<AnyStore, DiskIndexError> {
             if offsets[n_lists] as usize != ids.len() {
                 return Err(DiskIndexError::BadHeader("ivf list offsets malformed"));
             }
-            Ok(AnyStore::Ivf(IvfStore::from_parts(
-                dim, rows, centroids, lists, config,
-            )))
+            Ok(AnyStore::Ivf(
+                IvfStore::from_parts(dim, rows, centroids, lists, config)
+                    .with_rerank_factor(rerank_factor),
+            ))
         }
         StoreConfig::RpForest { .. } => Err(DiskIndexError::MissingSection {
             kind: section::RAW_ROWS,
@@ -1124,6 +1221,41 @@ pub fn store_from_file(file: &IndexFile) -> Result<AnyStore, DiskIndexError> {
 /// Map `path` and reconstruct the store it holds.
 pub fn load_store(path: &Path) -> Result<AnyStore, DiskIndexError> {
     store_from_file(&IndexFile::open(path)?)
+}
+
+/// Spill the f32 re-rank source rows of an in-memory quantized store
+/// (SQ8 or PQ) to a `SSAWIDX1` sidecar file at `path` and swap the
+/// owned buffer for a mapped (demand-paged) view of that file.
+///
+/// After a successful spill the store answers every query bit-for-bit
+/// identically — re-ranking reads the same bytes through the page
+/// cache — but [`RowStorage::resident_bytes`] no longer counts the
+/// source rows, so an in-RAM PQ build reaches the same
+/// codes-plus-codebooks steady-state hot set as a store loaded via
+/// [`load_store`]. Returns `true` if rows were spilled; `false` (and
+/// no file is written) when the store has no re-rank tier, the source
+/// is already mapped, or the store is sharded/forest (those rebuild
+/// from raw rows and hold no spillable source).
+pub fn spill_rerank_rows(store: &mut AnyStore, path: &Path) -> Result<bool, DiskIndexError> {
+    let storage = match store {
+        AnyStore::Exact(s) => s.rows_mut(),
+        AnyStore::Ivf(s) => s.rows_mut(),
+        _ => return Ok(false),
+    };
+    let Some(source) = storage.rerank_source_mut() else {
+        return Ok(false);
+    };
+    if source.is_mapped() || source.is_empty() {
+        return Ok(false);
+    }
+    let mut b = IndexFileBuilder::new();
+    b.section(section::PQ_RERANK_ROWS, le_bytes_f32(source));
+    b.write_to_file(path)?;
+    let file = IndexFile::open(path)?;
+    let view = file.section_slice::<f32>(section::PQ_RERANK_ROWS)?;
+    debug_assert_eq!(view.len(), source.len());
+    *source = view.into();
+    Ok(true)
 }
 
 #[cfg(test)]
@@ -1312,6 +1444,15 @@ mod tests {
             StoreConfig::ivf(IvfConfig::default()).with_precision(RowPrecision::F16),
             StoreConfig::ivf(IvfConfig::default()).with_precision(RowPrecision::Sq8),
             StoreConfig::ivf(IvfConfig::default()).with_shards(2),
+            StoreConfig::exact().with_precision(RowPrecision::Pq { m: 4, nbits: 8 }),
+            StoreConfig::exact()
+                .with_precision(RowPrecision::Pq { m: 8, nbits: 5 })
+                .with_rerank_factor(7),
+            StoreConfig::ivf(IvfConfig::default())
+                .with_precision(RowPrecision::Pq { m: 4, nbits: 8 }),
+            StoreConfig::exact()
+                .with_precision(RowPrecision::Pq { m: 4, nbits: 8 })
+                .with_shards(2),
         ];
         for cfg in configs {
             let built = cfg.build(dim, data.clone());

@@ -15,15 +15,21 @@ const SCAN_BLOCK: usize = 64;
 ///
 /// Rows live in a [`RowStorage`] buffer: plain `f32` by default, the
 /// half-precision tier ([`RowPrecision::F16`]) which halves scan
-/// bandwidth while keeping f32 accumulation, or the scalar-quantized
-/// tier ([`RowPrecision::Sq8`]) which scans 1 B/element codes and
-/// exactly re-ranks the top `k ×` [`SQ8_RERANK_FACTOR`] candidates
-/// against the f32 source rows — see the `storage` module docs for the
-/// precision semantics.
+/// bandwidth while keeping f32 accumulation, or the quantized tiers —
+/// scalar ([`RowPrecision::Sq8`], 1 B/element codes) and product
+/// ([`RowPrecision::Pq`], `m` bytes/row scanned through per-query ADC
+/// tables) — which exactly re-rank the top `k × rerank_factor`
+/// candidates against the f32 source rows (default
+/// [`SQ8_RERANK_FACTOR`], see [`ExactStore::with_rerank_factor`]) —
+/// see the `storage` module docs for the precision semantics.
 #[derive(Clone, Debug)]
 pub struct ExactStore {
     dim: usize,
     rows: RowStorage,
+    /// Candidate-pool multiplier for the quantized tiers (`k ×
+    /// rerank_factor` candidates survive the code scan and get exact
+    /// re-scoring). [`SQ8_RERANK_FACTOR`] by default.
+    rerank_factor: usize,
 }
 
 impl ExactStore {
@@ -46,6 +52,7 @@ impl ExactStore {
         Self {
             dim,
             rows: RowStorage::encode(precision, dim, data),
+            rerank_factor: SQ8_RERANK_FACTOR,
         }
     }
 
@@ -58,7 +65,28 @@ impl ExactStore {
     pub fn from_storage(dim: usize, rows: RowStorage) -> Self {
         assert!(dim > 0, "dimension must be positive");
         assert_eq!(rows.len() % dim, 0, "buffer is not a multiple of dim");
-        Self { dim, rows }
+        Self {
+            dim,
+            rows,
+            rerank_factor: SQ8_RERANK_FACTOR,
+        }
+    }
+
+    /// Set the quantized-tier re-rank pool factor (builder style).
+    /// Changing it changes which candidates survive the code scan, so
+    /// persistence records it to keep loaded stores bit-identical.
+    ///
+    /// # Panics
+    /// Panics when `factor` is zero.
+    pub fn with_rerank_factor(mut self, factor: usize) -> Self {
+        assert!(factor >= 1, "rerank factor must be at least 1");
+        self.rerank_factor = factor;
+        self
+    }
+
+    /// The quantized-tier re-rank pool factor.
+    pub fn rerank_factor(&self) -> usize {
+        self.rerank_factor
     }
 
     /// Borrow the underlying row storage (the persistence layer
@@ -67,27 +95,34 @@ impl ExactStore {
         &self.rows
     }
 
+    /// Mutable row storage — only for `crate::diskindex`'s re-rank-row
+    /// spill hook.
+    pub(crate) fn rows_mut(&mut self) -> &mut RowStorage {
+        &mut self.rows
+    }
+
     /// The row-storage precision.
     pub fn precision(&self) -> RowPrecision {
         self.rows.precision()
     }
 
     /// The candidate-pool size the scan selects before re-ranking:
-    /// `k × SQ8_RERANK_FACTOR` for the quantized tier, `k` (no rerank
-    /// pass) for the exact-scoring tiers.
+    /// `k × rerank_factor` for the quantized tiers (SQ8, PQ), `k` (no
+    /// rerank pass) for the exact-scoring tiers.
     fn pool_k(&self, k: usize) -> usize {
-        match self.rows.precision() {
-            RowPrecision::Sq8 => k.saturating_mul(SQ8_RERANK_FACTOR),
-            _ => k,
+        if self.rows.precision().is_quantized() {
+            k.saturating_mul(self.rerank_factor)
+        } else {
+            k
         }
     }
 
     /// Collapse a scanned candidate pool to the final top-`k`. For the
-    /// exact-scoring tiers the pool *is* the answer; for SQ8 each
-    /// candidate is re-scored exactly against its f32 source row, so
-    /// final scores are true inner products.
+    /// exact-scoring tiers the pool *is* the answer; for SQ8 and PQ
+    /// each candidate is re-scored exactly against its f32 source row,
+    /// so final scores are true inner products.
     fn rerank(&self, query: &[f32], k: usize, pool: Vec<Hit>) -> Vec<Hit> {
-        if self.rows.precision() != RowPrecision::Sq8 {
+        if !self.rows.precision().is_quantized() {
             return pool;
         }
         let mut sel = TopKSelector::new(k);
@@ -160,11 +195,20 @@ impl VectorStore for ExactStore {
         let mut sel = TopKSelector::new(self.pool_k(k));
         let mut scores = [0.0f32; SCAN_BLOCK];
         let mut id = 0u32;
+        // PQ scores through a per-query ADC table, built once here and
+        // shared by every block (`None` for the other tiers).
+        let lut = self.rows.pq_lut(self.dim, query);
         for start in (0..n).step_by(SCAN_BLOCK) {
             let end = (start + SCAN_BLOCK).min(n);
             let rows = end - start;
-            self.rows
-                .gemv1_range(self.dim, start..end, query, &mut scores[..rows]);
+            match &lut {
+                Some(lut) => self
+                    .rows
+                    .scan_pq_range(start..end, lut, &mut scores[..rows]),
+                None => self
+                    .rows
+                    .gemv1_range(self.dim, start..end, query, &mut scores[..rows]),
+            }
             for &score in &scores[..rows] {
                 if keep(id) {
                     sel.insert(id, score);
@@ -202,14 +246,42 @@ impl VectorStore for ExactStore {
         let mut scores = vec![0.0f32; nq * SCAN_BLOCK];
         let mut kept = [false; SCAN_BLOCK];
         let mut base = 0u32;
+        // PQ: one ADC table per query, hoisted out of the block loop.
+        let luts: Option<Vec<Vec<f32>>> = match self.rows.precision() {
+            RowPrecision::Pq { .. } => Some(
+                queries
+                    .iter()
+                    .map(|q| {
+                        self.rows
+                            .pq_lut(self.dim, q)
+                            .expect("pq storage always builds a lut")
+                    })
+                    .collect(),
+            ),
+            _ => None,
+        };
         for start in (0..n).step_by(SCAN_BLOCK) {
             let end = (start + SCAN_BLOCK).min(n);
             let rows = end - start;
             for (j, flag) in kept[..rows].iter_mut().enumerate() {
                 *flag = keep(base + j as u32);
             }
-            self.rows
-                .gemv_range(self.dim, start..end, queries, &mut scores[..nq * rows]);
+            match &luts {
+                Some(luts) => {
+                    // Same query-major score layout as gemv_range.
+                    for (qi, lut) in luts.iter().enumerate() {
+                        self.rows.scan_pq_range(
+                            start..end,
+                            lut,
+                            &mut scores[qi * rows..(qi + 1) * rows],
+                        );
+                    }
+                }
+                None => {
+                    self.rows
+                        .gemv_range(self.dim, start..end, queries, &mut scores[..nq * rows])
+                }
+            }
             for (qi, sel) in sels.iter_mut().enumerate() {
                 let row_scores = &scores[qi * rows..(qi + 1) * rows];
                 for (j, &score) in row_scores.iter().enumerate() {

@@ -62,6 +62,9 @@ pub struct IvfStore {
     /// Row ids bucketed by centroid, ascending within each list.
     lists: Vec<Vec<u32>>,
     config: IvfConfig,
+    /// Candidate-pool multiplier for the quantized tiers (SQ8, PQ);
+    /// [`SQ8_RERANK_FACTOR`] by default.
+    rerank_factor: usize,
 }
 
 impl IvfStore {
@@ -184,6 +187,7 @@ impl IvfStore {
             centroids,
             lists,
             config,
+            rerank_factor: SQ8_RERANK_FACTOR,
         }
     }
 
@@ -220,13 +224,36 @@ impl IvfStore {
             centroids,
             lists,
             config,
+            rerank_factor: SQ8_RERANK_FACTOR,
         }
+    }
+
+    /// Set the quantized-tier re-rank pool factor (builder style) —
+    /// see `ExactStore::with_rerank_factor` for the contract.
+    ///
+    /// # Panics
+    /// Panics when `factor` is zero.
+    pub fn with_rerank_factor(mut self, factor: usize) -> Self {
+        assert!(factor >= 1, "rerank factor must be at least 1");
+        self.rerank_factor = factor;
+        self
+    }
+
+    /// The quantized-tier re-rank pool factor.
+    pub fn rerank_factor(&self) -> usize {
+        self.rerank_factor
     }
 
     /// Borrow the underlying row storage (the persistence layer
     /// serializes it).
     pub fn rows(&self) -> &RowStorage {
         &self.rows
+    }
+
+    /// Mutable row storage — only for `crate::diskindex`'s re-rank-row
+    /// spill hook.
+    pub(crate) fn rows_mut(&mut self) -> &mut RowStorage {
+        &mut self.rows
     }
 
     /// The trained centroid matrix (`n_lists × dim`, row-major).
@@ -250,19 +277,21 @@ impl IvfStore {
     }
 
     /// The candidate-pool size gathered before re-ranking:
-    /// `k × SQ8_RERANK_FACTOR` for the quantized tier, `k` otherwise.
+    /// `k × rerank_factor` for the quantized tiers (SQ8, PQ), `k`
+    /// otherwise.
     fn pool_k(&self, k: usize) -> usize {
-        match self.rows.precision() {
-            RowPrecision::Sq8 => k.saturating_mul(SQ8_RERANK_FACTOR),
-            _ => k,
+        if self.rows.precision().is_quantized() {
+            k.saturating_mul(self.rerank_factor)
+        } else {
+            k
         }
     }
 
     /// Collapse a probed candidate pool to the final top-`k` (exact
-    /// re-scoring for SQ8, identity otherwise) — see
+    /// re-scoring for SQ8 and PQ, identity otherwise) — see
     /// `ExactStore::rerank` for the contract.
     fn rerank(&self, query: &[f32], k: usize, pool: Vec<Hit>) -> Vec<Hit> {
-        if self.rows.precision() != RowPrecision::Sq8 {
+        if !self.rows.precision().is_quantized() {
             return pool;
         }
         let mut sel = TopKSelector::new(k);
@@ -363,12 +392,19 @@ impl IvfStore {
         }
         let need = min_candidates.max(k);
         let mut sel = TopKSelector::new(self.pool_k(k));
+        // PQ scores through a per-query ADC table, built once for the
+        // whole probe walk (`None` for the other tiers).
+        let lut = self.rows.pq_lut(self.dim, query);
         for c in self.probe_prefix(query, min_lists, need) {
             for &id in &self.lists[c] {
                 if !keep(id) {
                     continue;
                 }
-                sel.insert(id, self.rows.dot_row(self.dim, id, query));
+                let score = match &lut {
+                    Some(lut) => self.rows.dot_row_lut(id, lut),
+                    None => self.rows.dot_row(self.dim, id, query),
+                };
+                sel.insert(id, score);
             }
         }
         self.rerank(query, k, sel.into_sorted_hits())
@@ -434,6 +470,22 @@ impl VectorStore for IvfStore {
         let mut kept_ids: Vec<u32> = Vec::new();
         let mut scores: Vec<f32> = Vec::new();
         let mut qrefs: Vec<&[f32]> = Vec::new();
+        // PQ: one ADC table per query, hoisted out of the list walk.
+        // The tables come from the primary store's codebooks; the
+        // gather scratch carries codes and geometry only.
+        let luts: Option<Vec<Vec<f32>>> = match self.rows.precision() {
+            RowPrecision::Pq { .. } => Some(
+                queries
+                    .iter()
+                    .map(|q| {
+                        self.rows
+                            .pq_lut(self.dim, q)
+                            .expect("pq storage always builds a lut")
+                    })
+                    .collect(),
+            ),
+            _ => None,
+        };
         for (c, qis) in probing.iter().enumerate() {
             if qis.is_empty() {
                 continue;
@@ -452,12 +504,24 @@ impl VectorStore for IvfStore {
             qrefs.clear();
             qrefs.extend(qis.iter().map(|&qi| queries[qi as usize]));
             scores.resize(qis.len() * kept_ids.len(), 0.0);
-            gathered.gemv_range(
-                self.dim,
-                0..kept_ids.len(),
-                &qrefs,
-                &mut scores[..qis.len() * kept_ids.len()],
-            );
+            match &luts {
+                Some(luts) => {
+                    // Same query-major score layout as gemv_range.
+                    for (j, &qi) in qis.iter().enumerate() {
+                        gathered.scan_pq_range(
+                            0..kept_ids.len(),
+                            &luts[qi as usize],
+                            &mut scores[j * kept_ids.len()..(j + 1) * kept_ids.len()],
+                        );
+                    }
+                }
+                None => gathered.gemv_range(
+                    self.dim,
+                    0..kept_ids.len(),
+                    &qrefs,
+                    &mut scores[..qis.len() * kept_ids.len()],
+                ),
+            }
             for (j, &qi) in qis.iter().enumerate() {
                 let sel = &mut sels[qi as usize];
                 let row = &scores[j * kept_ids.len()..(j + 1) * kept_ids.len()];

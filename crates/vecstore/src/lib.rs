@@ -26,11 +26,16 @@
 //!
 //! [`ExactStore`] and [`IvfStore`] keep their rows in a [`RowStorage`]
 //! buffer: plain `f32` (default), IEEE binary16 ([`RowPrecision::F16`])
-//! which halves scan bandwidth, or scalar-quantized u8
-//! ([`RowPrecision::Sq8`]) which quarters it and exactly re-ranks the
-//! top `k ×` [`SQ8_RERANK_FACTOR`] candidates against the retained f32
-//! source rows — see the `storage` module docs for the precision
-//! semantics and the per-precision bit-identity guarantees.
+//! which halves scan bandwidth, scalar-quantized u8
+//! ([`RowPrecision::Sq8`]) which quarters it, or product-quantized
+//! codes ([`RowPrecision::Pq`]) which scan `m` bytes per *row* through
+//! per-query ADC lookup tables — sub-byte per element whenever
+//! `m < dim`. Both quantized tiers exactly re-rank the top
+//! `k × rerank_factor` candidates (default [`SQ8_RERANK_FACTOR`],
+//! configurable via [`StoreConfig::with_rerank_factor`]) against the
+//! retained f32 source rows, which [`spill_rerank_rows`] can demote to
+//! a demand-paged mmap sidecar — see the `storage` module docs for the
+//! precision semantics and the per-precision bit-identity guarantees.
 //!
 //! The [`diskindex`] module persists any [`AnyStore`] to a versioned,
 //! checksummed, section-aligned on-disk format and loads it back with
@@ -95,14 +100,17 @@ use std::collections::BinaryHeap;
 pub use annoy::{RpForest, RpForestConfig};
 pub use config::{AnyStore, StoreConfig};
 pub use diskindex::{
-    encode_store, fnv1a64, load_store, save_store, store_from_file, DiskIndexError, IndexFile,
-    IndexFileBuilder, MappedSlice, Mmap,
+    encode_store, fnv1a64, load_store, save_store, spill_rerank_rows, store_from_file,
+    DiskIndexError, IndexFile, IndexFileBuilder, MappedSlice, Mmap,
 };
 pub use exact::ExactStore;
 pub use ivf::{IvfConfig, IvfStore};
 pub use recall::recall_at_k;
 pub use sharded::{merge_hits, ShardedStore};
-pub use storage::{Buf, RowPrecision, RowStorage, Sq8Rows, SQ8_RERANK_FACTOR};
+pub use storage::{
+    Buf, PqRows, RowPrecision, RowStorage, Sq8Rows, PQ_DEFAULT_M, PQ_DEFAULT_NBITS, PQ_TRAIN_SEED,
+    SQ8_RERANK_FACTOR,
+};
 
 /// A scored hit: item id plus its inner product with the query.
 #[derive(Clone, Copy, Debug, PartialEq)]

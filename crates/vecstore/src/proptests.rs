@@ -102,14 +102,37 @@ fn all_backends(dim: usize, data: &[f32]) -> Vec<(&'static str, Box<dyn VectorSt
                 ExactStore::with_precision(d, buf, RowPrecision::Sq8)
             })),
         ),
+        (
+            "exact-pq",
+            Box::new(ExactStore::with_precision(
+                dim,
+                data.to_vec(),
+                RowPrecision::Pq { m: 4, nbits: 8 },
+            )),
+        ),
+        (
+            "ivf-pq",
+            Box::new(IvfStore::build_with_precision(
+                dim,
+                data.to_vec(),
+                IvfConfig::default(),
+                RowPrecision::Pq { m: 4, nbits: 8 },
+            )),
+        ),
+        (
+            "sharded-exact-pq",
+            Box::new(ShardedStore::build(dim, data.to_vec(), 3, |d, buf| {
+                ExactStore::with_precision(d, buf, RowPrecision::Pq { m: 4, nbits: 8 })
+            })),
+        ),
     ]
 }
 
 /// Score tolerance against the full-precision inner product: f16 rows
 /// round once at encode time (≤ 2⁻¹¹ relative per element); f32 rows
-/// are exact; sq8 *final* scores are exact too — quantized scores only
-/// rank the rerank pool, and re-ranking re-scores against the f32
-/// source rows.
+/// are exact; sq8 and pq *final* scores are exact too — quantized
+/// scores only rank the rerank pool, and re-ranking re-scores against
+/// the f32 source rows.
 fn score_tolerance(name: &str) -> f32 {
     if name.ends_with("f16") {
         4e-3
