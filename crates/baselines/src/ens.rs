@@ -175,8 +175,7 @@ impl EnsSearcher {
             .collect();
         order.sort_unstable_by(|&a, &b| {
             post[b as usize]
-                .partial_cmp(&post[a as usize])
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .total_cmp(&post[a as usize])
                 .then(a.cmp(&b))
         });
         order.truncate(snapshot_len);
@@ -234,7 +233,7 @@ impl EnsSearcher {
 /// Sum of the `m` largest values of (snapshot minus removed positions,
 /// plus `added` values). `added` is sorted in place (descending).
 fn top_m_sum(snapshot: &[f32], removed_positions: &[u32], added: &mut [f32], m: usize) -> f64 {
-    added.sort_unstable_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    added.sort_unstable_by(|a, b| b.total_cmp(a));
     let mut sum = 0.0f64;
     let mut taken = 0usize;
     let mut si = 0usize;

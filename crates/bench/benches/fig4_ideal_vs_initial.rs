@@ -19,7 +19,7 @@ use seesaw_metrics::{median, quantile, ranking_average_precision, TableBuilder};
 fn full_ap(index: &DatasetIndex, dataset: &SyntheticDataset, concept: ConceptId, q: &[f32]) -> f64 {
     // One blocked GEMV over the coarse embeddings, not N row loops.
     let mut scored: Vec<(f32, u32)> = index.coarse_scores(q).into_iter().zip(0u32..).collect();
-    scored.sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    scored.sort_unstable_by(|a, b| b.0.total_cmp(&a.0));
     let relevance: Vec<bool> = scored
         .iter()
         .map(|&(_, i)| dataset.truth.is_relevant(concept, i))

@@ -75,11 +75,7 @@ fn scalar_top_k(dim: usize, data: &[f32], query: &[f32], k: usize) -> Vec<Hit> {
         let score = dot_scalar(query, v);
         if best.len() < k || score > threshold {
             let pos = best
-                .binary_search_by(|h| {
-                    score
-                        .partial_cmp(&h.score)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                })
+                .binary_search_by(|h| score.total_cmp(&h.score))
                 .unwrap_or_else(|e| e);
             best.insert(
                 pos,
@@ -94,12 +90,7 @@ fn scalar_top_k(dim: usize, data: &[f32], query: &[f32], k: usize) -> Vec<Hit> {
             threshold = best.last().map(|h| h.score).unwrap_or(f32::NEG_INFINITY);
         }
     }
-    best.sort_unstable_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.id.cmp(&b.id))
-    });
+    best.sort_unstable_by(|a, b| b.score.total_cmp(&a.score).then(a.id.cmp(&b.id)));
     best
 }
 

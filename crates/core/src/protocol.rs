@@ -735,7 +735,7 @@ impl Parser<'_> {
             )));
         }
         let lit = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("number alphabet is ASCII")
+            .map_err(|_| ProtocolError::new("invalid UTF-8 in number"))?
             .to_string();
         Ok(Json::Num(lit))
     }

@@ -289,6 +289,11 @@ impl Session {
                 let graph = index
                     .coarse_graph
                     .as_ref()
+                    // Not reachable over the wire: SearchService
+                    // rejects ENS creates on indexes without a coarse
+                    // graph before constructing the session, so this
+                    // only fires on direct library misuse.
+                    // xtask-allow: F2
                     .expect("ENS requires build_coarse_graph at preprocessing");
                 let priors = priors.unwrap_or_else(|| {
                     // Raw CLIP prior (§5.4): the cosine score used

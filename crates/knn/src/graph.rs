@@ -67,7 +67,7 @@ impl KnnGraph {
                 }
                 row.push((squared_euclidean(vec_of(i), vec_of(j)), j as u32));
             }
-            row.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            row.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
             for (slot, &(d2, j)) in row.iter().take(k).enumerate() {
                 neighbors[i * k + slot] = j;
                 distances[i * k + slot] = d2.sqrt();
@@ -118,7 +118,7 @@ impl KnnGraph {
             return 0.0;
         }
         let mut all = self.distances.clone();
-        all.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        all.sort_unstable_by(|a, b| a.total_cmp(b));
         all[all.len() / 2]
     }
 
@@ -126,7 +126,7 @@ impl KnnGraph {
     /// the preprocessing logs.
     pub fn stats(&self) -> GraphStats {
         let mut dists = self.distances.clone();
-        dists.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        dists.sort_unstable_by(|a, b| a.total_cmp(b));
         let pick = |q: f64| {
             if dists.is_empty() {
                 0.0

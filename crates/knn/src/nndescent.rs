@@ -78,11 +78,7 @@ impl NeighborList {
         }
         let pos = self
             .entries
-            .binary_search_by(|e| {
-                e.dist2
-                    .partial_cmp(&cand.dist2)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
+            .binary_search_by(|e| e.dist2.total_cmp(&cand.dist2))
             .unwrap_or_else(|e| e);
         self.entries.insert(pos, cand);
         if self.entries.len() > self.cap {

@@ -44,7 +44,7 @@ impl SigmaRule {
     /// of per-node bandwidths otherwise (diagnostics).
     pub fn resolve(&self, graph: &KnnGraph) -> f32 {
         let mut sigmas = self.node_sigmas(graph);
-        sigmas.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        sigmas.sort_unstable_by(|a, b| a.total_cmp(b));
         sigmas.get(sigmas.len() / 2).copied().unwrap_or(1e-6)
     }
 }

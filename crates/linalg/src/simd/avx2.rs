@@ -30,6 +30,9 @@ use crate::half::f32_from_f16;
 use core::arch::x86_64::*;
 
 /// Spill the lane accumulator and apply the canonical reduction.
+// SAFETY: the only intrinsic is an unaligned 256-bit store into a
+// stack array of exactly LANES (8) f32, so the destination is valid
+// and in-bounds; AVX2 is guaranteed by every caller's dispatch check.
 #[inline]
 #[target_feature(enable = "avx2")]
 unsafe fn reduce(acc: __m256, tail: f32) -> f32 {
@@ -39,6 +42,9 @@ unsafe fn reduce(acc: __m256, tail: f32) -> f32 {
 }
 
 /// Load 8 f32 lanes from an f16-encoded row (`VCVTPH2PS`; exact).
+// SAFETY: callers pass `p` pointing at >= 8 readable u16 codes (the
+// chunk loops stop at len / LANES), and `_mm_loadu_si128` has no
+// alignment requirement; F16C is guaranteed by the dispatch check.
 #[inline]
 #[target_feature(enable = "avx2", enable = "f16c")]
 unsafe fn load_f16(p: *const u16) -> __m256 {
@@ -49,6 +55,9 @@ unsafe fn load_f16(p: *const u16) -> __m256 {
 /// u8 codes in-register (`VPMOVZXBD` + `VCVTDQ2PS`, both exact for
 /// 0..=255), then `offset + scale * code` with separate multiply and
 /// add roundings — the scalar reference's exact dequant sequence.
+// SAFETY: `_mm_loadl_epi64` reads exactly 8 bytes; callers pass `p`
+// pointing at >= 8 readable u8 codes (chunk loops stop at len /
+// LANES) and the load has no alignment requirement.
 #[inline]
 #[target_feature(enable = "avx2")]
 unsafe fn load_sq8(p: *const u8, scale: __m256, offset: __m256) -> __m256 {
@@ -61,6 +70,9 @@ unsafe fn load_sq8(p: *const u8, scale: __m256, offset: __m256) -> __m256 {
 /// # Safety
 /// Requires AVX2; `a.len() == b.len()` must hold (asserted by the
 /// public wrappers).
+// SAFETY: all loads are unaligned (`loadu`) and offset by
+// `i * LANES` with `i < len / LANES`, so every 8-lane read stays
+// inside the equal-length slices; AVX2 is verified at dispatch.
 #[target_feature(enable = "avx2")]
 pub(crate) unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
@@ -83,6 +95,9 @@ pub(crate) unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
 ///
 /// # Safety
 /// Requires AVX2 + F16C; `a.len() == b.len()` must hold.
+// SAFETY: chunk offsets `i * LANES` with `i < len / LANES` keep every
+// 8-element f16 load and f32 load inside the equal-length slices;
+// AVX2+F16C are verified at dispatch.
 #[target_feature(enable = "avx2", enable = "f16c")]
 pub(crate) unsafe fn dot_f16(a: &[u16], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
@@ -106,6 +121,9 @@ pub(crate) unsafe fn dot_f16(a: &[u16], b: &[f32]) -> f32 {
 ///
 /// # Safety
 /// Requires AVX2; `codes.len() == query.len()` must hold.
+// SAFETY: chunk offsets `i * LANES` with `i < len / LANES` keep every
+// 8-byte code load and 8-lane query load inside the equal-length
+// slices; AVX2 is verified at dispatch.
 #[target_feature(enable = "avx2")]
 pub(crate) unsafe fn dot_sq8(codes: &[u8], scale: f32, offset: f32, query: &[f32]) -> f32 {
     debug_assert_eq!(codes.len(), query.len());
@@ -128,6 +146,9 @@ pub(crate) unsafe fn dot_sq8(codes: &[u8], scale: f32, offset: f32, query: &[f32
 
 /// Per-subspace LUT base offsets for one eight-subspace chunk:
 /// `[0, 1, .., 7] * PQ_LUT_STRIDE`.
+// SAFETY: pure register arithmetic (`_mm256_setr_epi32` constant
+// splat) — no memory access; unsafe only for the target_feature gate,
+// which dispatch has already verified.
 #[inline]
 #[target_feature(enable = "avx2")]
 unsafe fn pq_step() -> __m256i {
@@ -144,6 +165,10 @@ unsafe fn pq_step() -> __m256i {
 /// Requires AVX2; `p` must point at 8 readable codes and `lut` at a
 /// full `m * PQ_LUT_STRIDE` table whose chunk base is encoded in
 /// `base`, so every index `base[l] + code` is in bounds for any `u8`.
+// SAFETY: the 8-byte code load is covered by the caller's length
+// contract, and every gather index is `chunk_base + lane *
+// PQ_LUT_STRIDE + code` with `code <= 255 < PQ_LUT_STRIDE`, which the
+// callers' `lut.len() == m * PQ_LUT_STRIDE` assertion keeps in bounds.
 #[inline]
 #[target_feature(enable = "avx2")]
 unsafe fn lut_gather(p: *const u8, base: __m256i, lut: *const f32) -> __m256 {
@@ -159,6 +184,9 @@ unsafe fn lut_gather(p: *const u8, base: __m256i, lut: *const f32) -> __m256 {
 ///
 /// # Safety
 /// Requires AVX2; `lut.len() == codes.len() * PQ_LUT_STRIDE` must hold.
+// SAFETY: code loads stop at `m / LANES` chunks so they stay inside
+// `codes`; gather indices are bounded by the asserted
+// `lut.len() == m * PQ_LUT_STRIDE` (see `lut_gather`).
 #[target_feature(enable = "avx2")]
 pub(crate) unsafe fn dot_pq(codes: &[u8], lut: &[f32]) -> f32 {
     debug_assert_eq!(lut.len(), codes.len() * PQ_LUT_STRIDE);
@@ -186,6 +214,10 @@ pub(crate) unsafe fn dot_pq(codes: &[u8], lut: &[f32]) -> f32 {
 /// # Safety
 /// Requires AVX2; `codes.len() == out.len() * m` and
 /// `lut.len() == m * PQ_LUT_STRIDE` must hold.
+// SAFETY: row pointers `p0..p3` are `codes.as_ptr() + (r + k) * m`
+// with `r + ROW_GROUP <= n`, so each row's 8-byte code loads (offsets
+// `< m`) stay inside `codes` per the asserted `codes.len() == n * m`;
+// gather indices are bounded as in `lut_gather`.
 #[target_feature(enable = "avx2")]
 pub(crate) unsafe fn scan_pq(codes: &[u8], m: usize, lut: &[f32], out: &mut [f32]) {
     debug_assert_eq!(codes.len(), out.len() * m);
@@ -240,6 +272,10 @@ const ROW_GROUP: usize = 4;
 /// # Safety
 /// Requires AVX2; `rows.len() == out.len() * dim` and
 /// `query.len() == dim` must hold.
+// SAFETY: row pointers `p0..p3` are `rows.as_ptr() + (r + k) * dim`
+// with `r + ROW_GROUP <= n` and all in-row offsets are `< dim`, so
+// every unaligned 8-lane load stays inside `rows` / `query` per the
+// asserted length contracts; AVX2 is verified at dispatch.
 #[target_feature(enable = "avx2")]
 pub(crate) unsafe fn gemv1(rows: &[f32], dim: usize, query: &[f32], out: &mut [f32]) {
     debug_assert_eq!(rows.len(), out.len() * dim);
@@ -288,6 +324,9 @@ pub(crate) unsafe fn gemv1(rows: &[f32], dim: usize, query: &[f32], out: &mut [f
 /// # Safety
 /// Requires AVX2 + F16C; `rows.len() == out.len() * dim` and
 /// `query.len() == dim` must hold.
+// SAFETY: same bounds argument as `gemv1` — row pointers offset by
+// `(r + k) * dim` with `r + ROW_GROUP <= n`, in-row offsets `< dim`,
+// all loads unaligned; AVX2+F16C are verified at dispatch.
 #[target_feature(enable = "avx2", enable = "f16c")]
 pub(crate) unsafe fn gemv1_f16(rows: &[u16], dim: usize, query: &[f32], out: &mut [f32]) {
     debug_assert_eq!(rows.len(), out.len() * dim);
@@ -337,6 +376,10 @@ pub(crate) unsafe fn gemv1_f16(rows: &[u16], dim: usize, query: &[f32], out: &mu
 /// # Safety
 /// Requires AVX2; `codes.len() == out.len() * dim`,
 /// `params.len() == out.len() * 2`, and `query.len() == dim` must hold.
+// SAFETY: same bounds argument as `gemv1` — row pointers offset by
+// `(r + k) * dim` with `r + ROW_GROUP <= n`, in-row offsets `< dim`;
+// the per-row `(scale, offset)` reads are safe slice indexing checked
+// against the asserted `params.len() == n * 2`.
 #[target_feature(enable = "avx2")]
 pub(crate) unsafe fn gemv1_sq8(
     codes: &[u8],

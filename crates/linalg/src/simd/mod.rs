@@ -240,8 +240,14 @@ fn effective(tier: Tier) -> Tier {
 macro_rules! dispatch {
     ($tier:expr, $name:ident ( $($arg:expr),* )) => {
         match effective($tier) {
+            // SAFETY: reachable only after `effective` confirmed
+            // AVX2+F16C on this process; shape preconditions are
+            // asserted by the public wrappers before dispatch.
             #[cfg(target_arch = "x86_64")]
             Tier::Avx2 => unsafe { avx2::$name($($arg),*) },
+            // SAFETY: reachable only after `effective` confirmed NEON
+            // (baseline on aarch64); shape preconditions are asserted
+            // by the public wrappers before dispatch.
             #[cfg(target_arch = "aarch64")]
             Tier::Neon => unsafe { neon::$name($($arg),*) },
             _ => scalar::$name($($arg),*),

@@ -26,6 +26,9 @@ use crate::half::f32_from_f16;
 use core::arch::aarch64::*;
 
 /// Spill a lane-accumulator pair and apply the canonical reduction.
+// SAFETY: the two `vst1q_f32` stores write lanes 0..4 and 4..8 of a
+// stack array of exactly LANES (8) f32, so both are in-bounds; NEON
+// is baseline on aarch64 and re-verified at dispatch.
 #[inline]
 #[target_feature(enable = "neon")]
 unsafe fn reduce(lo: float32x4_t, hi: float32x4_t, tail: f32) -> f32 {
@@ -63,6 +66,9 @@ fn dequant_chunk(p: &[u8], scale: f32, offset: f32) -> [f32; LANES] {
 /// # Safety
 /// Requires NEON (baseline on aarch64); `a.len() == b.len()` must hold
 /// (asserted by the public wrappers).
+// SAFETY: every `vld1q_f32` reads 4 f32 at offset `i * LANES` or
+// `i * LANES + 4` with `i < len / LANES`, staying inside the
+// equal-length slices; NEON is verified at dispatch.
 #[target_feature(enable = "neon")]
 pub(crate) unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
@@ -92,6 +98,9 @@ pub(crate) unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
 ///
 /// # Safety
 /// Requires NEON; `a.len() == b.len()` must hold.
+// SAFETY: f16 chunks are widened through safe slice indexing into a
+// LANES-sized stack buffer; the only raw loads read that buffer and
+// `b` at offsets bounded by `len / LANES` chunks.
 #[target_feature(enable = "neon")]
 pub(crate) unsafe fn dot_f16(a: &[u16], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
@@ -123,6 +132,9 @@ pub(crate) unsafe fn dot_f16(a: &[u16], b: &[f32]) -> f32 {
 ///
 /// # Safety
 /// Requires NEON; `codes.len() == query.len()` must hold.
+// SAFETY: codes are dequantized through safe slice indexing into a
+// LANES-sized stack buffer; the only raw loads read that buffer and
+// `query` at offsets bounded by `len / LANES` chunks.
 #[target_feature(enable = "neon")]
 pub(crate) unsafe fn dot_sq8(codes: &[u8], scale: f32, offset: f32, query: &[f32]) -> f32 {
     debug_assert_eq!(codes.len(), query.len());
@@ -166,6 +178,9 @@ fn pq_gather_chunk(codes8: &[u8], base_s: usize, lut: &[f32]) -> [f32; LANES] {
 ///
 /// # Safety
 /// Requires NEON; `lut.len() == codes.len() * PQ_LUT_STRIDE` must hold.
+// SAFETY: LUT entries are gathered through safe (bounds-checked)
+// indexing into a LANES-sized stack buffer; the only raw loads read
+// halves of that buffer.
 #[target_feature(enable = "neon")]
 pub(crate) unsafe fn dot_pq(codes: &[u8], lut: &[f32]) -> f32 {
     debug_assert_eq!(lut.len(), codes.len() * PQ_LUT_STRIDE);
@@ -191,6 +206,9 @@ pub(crate) unsafe fn dot_pq(codes: &[u8], lut: &[f32]) -> f32 {
 /// # Safety
 /// Requires NEON; `codes.len() == out.len() * m` and
 /// `lut.len() == m * PQ_LUT_STRIDE` must hold.
+// SAFETY: rows are taken as safe subslices and LUT entries gathered
+// through bounds-checked indexing into stack buffers; the only raw
+// loads read halves of those LANES-sized buffers.
 #[target_feature(enable = "neon")]
 pub(crate) unsafe fn scan_pq(codes: &[u8], m: usize, lut: &[f32], out: &mut [f32]) {
     debug_assert_eq!(codes.len(), out.len() * m);
@@ -239,6 +257,10 @@ const ROW_GROUP: usize = 2;
 /// # Safety
 /// Requires NEON; `rows.len() == out.len() * dim` and
 /// `query.len() == dim` must hold.
+// SAFETY: row pointers `p0`/`p1` are `rows.as_ptr() + (r + k) * dim`
+// with `r + ROW_GROUP <= n` and all in-row offsets `< dim`, so every
+// 4-lane load stays inside `rows` / `query` per the asserted length
+// contracts; NEON is verified at dispatch.
 #[target_feature(enable = "neon")]
 pub(crate) unsafe fn gemv1(rows: &[f32], dim: usize, query: &[f32], out: &mut [f32]) {
     debug_assert_eq!(rows.len(), out.len() * dim);
@@ -284,6 +306,9 @@ pub(crate) unsafe fn gemv1(rows: &[f32], dim: usize, query: &[f32], out: &mut [f
 /// # Safety
 /// Requires NEON; `rows.len() == out.len() * dim` and
 /// `query.len() == dim` must hold.
+// SAFETY: rows are taken as safe subslices and widened into stack
+// buffers; raw loads read those buffers and `query` at offsets
+// bounded by `dim / LANES` chunks per the asserted length contracts.
 #[target_feature(enable = "neon")]
 pub(crate) unsafe fn gemv1_f16(rows: &[u16], dim: usize, query: &[f32], out: &mut [f32]) {
     debug_assert_eq!(rows.len(), out.len() * dim);
@@ -332,6 +357,10 @@ pub(crate) unsafe fn gemv1_f16(rows: &[u16], dim: usize, query: &[f32], out: &mu
 /// # Safety
 /// Requires NEON; `codes.len() == out.len() * dim`,
 /// `params.len() == out.len() * 2`, and `query.len() == dim` must hold.
+// SAFETY: rows are taken as safe subslices and dequantized into stack
+// buffers; raw loads read those buffers and `query` at offsets
+// bounded by `dim / LANES` chunks; `(scale, offset)` reads are safe
+// indexing checked against the asserted `params.len() == n * 2`.
 #[target_feature(enable = "neon")]
 pub(crate) unsafe fn gemv1_sq8(
     codes: &[u8],

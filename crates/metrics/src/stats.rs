@@ -18,7 +18,7 @@ pub fn quantile(values: &[f64], q: f64) -> f64 {
         return 0.0;
     }
     let mut sorted = values.to_vec();
-    sorted.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    sorted.sort_unstable_by(|a, b| a.total_cmp(b));
     let q = q.clamp(0.0, 1.0);
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
@@ -50,7 +50,7 @@ pub fn fraction_below(values: &[f64], threshold: f64) -> f64 {
 pub fn cdf_points(values: &[f64], lo: f64, hi: f64, n_points: usize) -> Vec<(f64, f64)> {
     assert!(n_points >= 2, "need at least two CDF points");
     let mut sorted = values.to_vec();
-    sorted.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    sorted.sort_unstable_by(|a, b| a.total_cmp(b));
     (0..n_points)
         .map(|i| {
             let x = lo + (hi - lo) * i as f64 / (n_points - 1) as f64;

@@ -90,7 +90,7 @@ proptest! {
     ) {
         // Label = score > median: a monotone ground truth.
         let mut sorted = scores.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let median = sorted[sorted.len() / 2];
         let labels: Vec<bool> = scores.iter().map(|&s| s > median).collect();
         prop_assume!(labels.iter().any(|&l| l) && labels.iter().any(|&l| !l));

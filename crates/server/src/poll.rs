@@ -171,10 +171,12 @@ mod sys {
             out.clear();
             let mut buf = [EpollEvent { events: 0, data: 0 }; WAIT_BATCH];
             let timeout_ms = timeout.as_millis().min(i32::MAX as u128) as c_int;
-            // SAFETY: `buf` holds WAIT_BATCH elements and outlives the
-            // call; the kernel writes at most `maxevents` of them.
-            let n =
-                unsafe { epoll_wait(self.epfd, buf.as_mut_ptr(), WAIT_BATCH as c_int, timeout_ms) };
+            let n = {
+                // SAFETY: `buf` holds WAIT_BATCH elements and outlives
+                // the call; the kernel writes at most `maxevents` of
+                // them.
+                unsafe { epoll_wait(self.epfd, buf.as_mut_ptr(), WAIT_BATCH as c_int, timeout_ms) }
+            };
             if n < 0 {
                 let e = io::Error::last_os_error();
                 if e.kind() == io::ErrorKind::Interrupted {

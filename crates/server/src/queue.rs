@@ -64,7 +64,10 @@ impl JobQueue {
     /// Enqueue a job, never blocking: a full queue is an immediate
     /// [`SubmitError::Saturated`] — backpressure, not waiting.
     pub fn submit(&self, job: Job) -> Result<(), SubmitError> {
-        let mut inner = self.inner.lock().expect("queue mutex poisoned");
+        // Poison tolerance: the Inner state is valid after any panic
+        // point (fields are updated atomically from the queue's view),
+        // so a poisoned lock must not cascade into killing callers.
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
         if inner.closed {
             return Err(SubmitError::ShuttingDown);
         }
@@ -81,7 +84,7 @@ impl JobQueue {
     /// `None` once the queue is closed **and** drained — workers exit
     /// only after every accepted job has been handed out.
     pub fn pop(&self) -> Option<Job> {
-        let mut inner = self.inner.lock().expect("queue mutex poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
         loop {
             if let Some(job) = inner.jobs.pop_front() {
                 return Some(job);
@@ -89,14 +92,17 @@ impl JobQueue {
             if inner.closed {
                 return None;
             }
-            inner = self.available.wait(inner).expect("queue mutex poisoned");
+            inner = self
+                .available
+                .wait(inner)
+                .unwrap_or_else(|p| p.into_inner());
         }
     }
 
     /// Stop accepting new jobs. Already-queued jobs are still handed
     /// out by [`JobQueue::pop`] (the drain half of graceful shutdown).
     pub fn close(&self) {
-        self.inner.lock().expect("queue mutex poisoned").closed = true;
+        self.inner.lock().unwrap_or_else(|p| p.into_inner()).closed = true;
         self.available.notify_all();
     }
 }

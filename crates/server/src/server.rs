@@ -241,15 +241,16 @@ impl Server {
             ));
         }
 
+        // Spawn failures (thread limits, OOM) propagate out of bind
+        // like any other setup error instead of panicking.
         let worker_threads = (0..shared.config.workers.max(1))
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("seesaw-worker-{i}"))
                     .spawn(move || worker_loop(&shared))
-                    .expect("spawning a worker thread")
             })
-            .collect();
+            .collect::<std::io::Result<Vec<_>>>()?;
 
         let loop_threads = loops
             .into_iter()
@@ -258,16 +259,14 @@ impl Server {
                 std::thread::Builder::new()
                     .name(format!("seesaw-loop-{i}"))
                     .spawn(move || ev.run())
-                    .expect("spawning an event-loop thread")
             })
-            .collect();
+            .collect::<std::io::Result<Vec<_>>>()?;
 
         let accept_thread = {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name("seesaw-accept".to_string())
-                .spawn(move || accept_loop(&listener, &shared, handles))
-                .expect("spawning the accept thread")
+                .spawn(move || accept_loop(&listener, &shared, handles))?
         };
 
         Ok(Self {
@@ -380,7 +379,8 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, handles: Vec<LoopHa
                 let mut stream = Some(stream);
                 for attempt in 0..handles.len() {
                     let handle = &handles[(next + attempt) % handles.len()];
-                    match handle.send_conn(stream.take().expect("stream present")) {
+                    let Some(s) = stream.take() else { break };
+                    match handle.send_conn(s) {
                         Ok(()) => break,
                         // A loop only disappears at shutdown; fall
                         // through to the next one.

@@ -155,9 +155,7 @@ impl RpForest {
         }
         impl Ord for Entry {
             fn cmp(&self, other: &Self) -> Ordering {
-                self.priority
-                    .partial_cmp(&other.priority)
-                    .unwrap_or(Ordering::Equal)
+                self.priority.total_cmp(&other.priority)
             }
         }
 

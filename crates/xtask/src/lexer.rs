@@ -1,0 +1,442 @@
+//! A minimal hand-rolled Rust lexer — just enough fidelity for the
+//! repo lints in [`crate::rules`].
+//!
+//! The lexer's one job is to separate *code* from *not-code* so the
+//! rules never fire on text inside comments or string literals (and
+//! never miss code because a `//` appeared inside a string). It
+//! handles: line + nested block comments, string/raw-string/byte-
+//! string/char literals, lifetimes vs. char literals, and numeric
+//! literals (including tuple-field access like `x.0.partial_cmp`,
+//! which must NOT swallow the following `.method`). It does not
+//! attempt full token fidelity — multi-character operators come out
+//! as individual punctuation tokens, which is all the rules need.
+
+/// Token classes the rules care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword (`unsafe`, `partial_cmp`, `self`, ...).
+    Ident,
+    /// String literal of any flavor; `text` is the raw inner content.
+    Str,
+    /// Numeric literal (integer or float, any base/suffix).
+    Num,
+    /// Single punctuation/operator character (`.`, `#`, `[`, ...).
+    Punct,
+    /// Char literal (`'a'`, `'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+}
+
+/// One significant (non-comment, non-whitespace) token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: Kind,
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+}
+
+/// One comment, line or block.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line of the `//` or `/*`.
+    pub line: u32,
+    /// 1-based line of the comment's last character (== `line` for
+    /// single-line comments).
+    pub end_line: u32,
+    /// Full comment text including the `//` / `/* ... */` markers.
+    pub text: String,
+}
+
+/// Lexed view of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    line,
+                    end_line: line,
+                    text: src[start..i].to_string(),
+                });
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    line: start_line,
+                    end_line: line,
+                    text: src[start..i].to_string(),
+                });
+            }
+            b'r' | b'b' | b'c' if starts_string(b, i) => {
+                let (tok, ni, nl) = lex_string(src, i, line);
+                out.toks.push(tok);
+                i = ni;
+                line = nl;
+            }
+            b'"' => {
+                let (tok, ni, nl) = lex_string(src, i, line);
+                out.toks.push(tok);
+                i = ni;
+                line = nl;
+            }
+            b'\'' => {
+                // Lifetime (`'a` not followed by a closing quote) or
+                // char literal (everything else).
+                let mut j = i + 1;
+                if j < b.len() && (b[j].is_ascii_alphabetic() || b[j] == b'_') && b[j] != b'\\' {
+                    let mut k = j;
+                    while k < b.len() && (b[k].is_ascii_alphanumeric() || b[k] == b'_') {
+                        k += 1;
+                    }
+                    if k < b.len() && b[k] == b'\'' && k == j + 1 {
+                        // `'a'` — a one-character char literal.
+                        out.toks.push(Tok {
+                            kind: Kind::Char,
+                            text: src[i..=k].to_string(),
+                            line,
+                        });
+                        i = k + 1;
+                        continue;
+                    }
+                    // `'lifetime` (no closing quote).
+                    out.toks.push(Tok {
+                        kind: Kind::Lifetime,
+                        text: src[i..k].to_string(),
+                        line,
+                    });
+                    i = k;
+                    continue;
+                }
+                // Escaped or non-alphabetic char literal: `'\n'`,
+                // `'\u{1F600}'`, `'0'`, `'.'`.
+                let start = i;
+                j = i + 1;
+                while j < b.len() {
+                    if b[j] == b'\\' {
+                        j += 2;
+                    } else if b[j] == b'\'' {
+                        j += 1;
+                        break;
+                    } else if b[j] == b'\n' {
+                        break; // malformed; bail at end of line
+                    } else {
+                        j += 1;
+                    }
+                }
+                out.toks.push(Tok {
+                    kind: Kind::Char,
+                    text: src[start..j.min(b.len())].to_string(),
+                    line,
+                });
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.toks.push(Tok {
+                    kind: Kind::Ident,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let (text, ni) = lex_number(src, i);
+                out.toks.push(Tok {
+                    kind: Kind::Num,
+                    text,
+                    line,
+                });
+                i = ni;
+            }
+            _ => {
+                out.toks.push(Tok {
+                    kind: Kind::Punct,
+                    text: (c as char).to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Does a string literal (possibly raw/byte/c-string) start at `i`?
+/// `b[i]` is one of `r`, `b`, `c`.
+fn starts_string(b: &[u8], i: usize) -> bool {
+    let mut j = i;
+    // Longest prefixes are two letters (`br`, `cr`) plus hashes.
+    let mut letters = 0;
+    while j < b.len() && letters < 2 && matches!(b[j], b'r' | b'b' | b'c') {
+        j += 1;
+        letters += 1;
+    }
+    while j < b.len() && b[j] == b'#' {
+        j += 1;
+    }
+    j < b.len() && b[j] == b'"' && letters > 0
+}
+
+/// Lex a string literal starting at `i` (at the prefix letter or the
+/// opening quote). Returns the token, the index after the literal,
+/// and the updated line number.
+fn lex_string(src: &str, i: usize, mut line: u32) -> (Tok, usize, u32) {
+    let b = src.as_bytes();
+    let start_line = line;
+    let mut j = i;
+    let mut raw = false;
+    while j < b.len() && matches!(b[j], b'r' | b'b' | b'c') {
+        if b[j] == b'r' {
+            raw = true;
+        }
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while j < b.len() && b[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    debug_assert!(j < b.len() && b[j] == b'"');
+    j += 1; // opening quote
+    let content_start = j;
+    let content_end;
+    if raw {
+        // Scan for `"` followed by `hashes` `#`s.
+        loop {
+            if j >= b.len() {
+                content_end = j;
+                break;
+            }
+            if b[j] == b'\n' {
+                line += 1;
+                j += 1;
+            } else if b[j] == b'"'
+                && b[j + 1..]
+                    .iter()
+                    .take(hashes)
+                    .filter(|&&h| h == b'#')
+                    .count()
+                    == hashes
+            {
+                content_end = j;
+                j += 1 + hashes;
+                break;
+            } else {
+                j += 1;
+            }
+        }
+    } else {
+        loop {
+            if j >= b.len() {
+                content_end = j;
+                break;
+            }
+            match b[j] {
+                b'\\' => j += 2,
+                b'\n' => {
+                    line += 1;
+                    j += 1;
+                }
+                b'"' => {
+                    content_end = j;
+                    j += 1;
+                    break;
+                }
+                _ => j += 1,
+            }
+        }
+    }
+    let text = src
+        .get(content_start..content_end.min(src.len()))
+        .unwrap_or("")
+        .to_string();
+    (
+        Tok {
+            kind: Kind::Str,
+            text,
+            line: start_line,
+        },
+        j.min(b.len()),
+        line,
+    )
+}
+
+/// Lex a numeric literal. The subtle case is `.`: it is part of the
+/// number only when followed by a digit, so tuple-field method chains
+/// like `a.0.partial_cmp(..)` keep their `.` tokens intact.
+fn lex_number(src: &str, i: usize) -> (String, usize) {
+    let b = src.as_bytes();
+    let start = i;
+    let mut j = i;
+    // Integer part, including base prefixes and suffixes (0xFF, 1u64).
+    while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+        // Exponent sign: `1e-5`, `2.5E+3`.
+        if (b[j] == b'e' || b[j] == b'E')
+            && !src[start..j].starts_with("0x")
+            && j + 1 < b.len()
+            && (b[j + 1] == b'+' || b[j + 1] == b'-')
+        {
+            j += 2;
+            continue;
+        }
+        j += 1;
+    }
+    // Fractional part only when `.` is followed by a digit.
+    if j + 1 < b.len() && b[j] == b'.' && b[j + 1].is_ascii_digit() {
+        j += 1;
+        while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+            if (b[j] == b'e' || b[j] == b'E')
+                && j + 1 < b.len()
+                && (b[j + 1] == b'+' || b[j + 1] == b'-')
+            {
+                j += 2;
+                continue;
+            }
+            j += 1;
+        }
+    }
+    (src[start..j].to_string(), j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == Kind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_not_tokens() {
+        let l = lex("let x = 1; // trailing unsafe\n/* block unsafe */ let y = 2;");
+        assert!(l.toks.iter().all(|t| t.text != "unsafe"));
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[0].text.contains("trailing"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* a /* nested */ still comment */ fn f() {}");
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(idents("/* a /* b */ c */ fn f() {}"), vec!["fn", "f"]);
+    }
+
+    #[test]
+    fn strings_hide_their_content() {
+        let l = lex(r#"let s = "unsafe // not a comment"; let t = 1;"#);
+        assert!(l.comments.is_empty());
+        assert!(l
+            .toks
+            .iter()
+            .any(|t| t.kind == Kind::Str && t.text.contains("unsafe")));
+        assert!(!idents(r#"let s = "unsafe";"#).contains(&"unsafe".to_string()));
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let l = lex(r##"let s = r#"has "quotes" and \ backslash"#; let b = b"bytes";"##);
+        let strs: Vec<_> = l.toks.iter().filter(|t| t.kind == Kind::Str).collect();
+        assert_eq!(strs.len(), 2);
+        assert!(strs[0].text.contains("quotes"));
+        assert_eq!(strs[1].text, "bytes");
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = l.toks.iter().filter(|t| t.kind == Kind::Lifetime).collect();
+        let chars: Vec<_> = l.toks.iter().filter(|t| t.kind == Kind::Char).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn tuple_field_access_keeps_dot_before_method() {
+        // `b.0.partial_cmp(&a.0)` must lex as ... Num(0) Punct(.)
+        // Ident(partial_cmp) ... — the rules rely on the `.` token
+        // immediately preceding `partial_cmp`.
+        let l = lex("v.sort_by(|a, b| b.0.partial_cmp(&a.0));");
+        let pos = l
+            .toks
+            .iter()
+            .position(|t| t.text == "partial_cmp")
+            .expect("partial_cmp token");
+        assert_eq!(l.toks[pos - 1].text, ".");
+        assert_eq!(l.toks[pos - 1].kind, Kind::Punct);
+        assert_eq!(l.toks[pos - 2].kind, Kind::Num);
+    }
+
+    #[test]
+    fn numbers_with_suffixes_and_exponents() {
+        let l = lex("let a = 0xFF_u64; let b = 1.5e-3f32; let c = 2.0f64.sqrt();");
+        let nums: Vec<_> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == Kind::Num)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, vec!["0xFF_u64", "1.5e-3f32", "2.0f64"]);
+        assert!(l.toks.iter().any(|t| t.text == "sqrt"));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let l = lex("fn a() {}\nfn b() {}\n// note\nfn c() {}\n");
+        let c = l.toks.iter().find(|t| t.text == "c").unwrap();
+        assert_eq!(c.line, 4);
+        assert_eq!(l.comments[0].line, 3);
+    }
+
+    #[test]
+    fn multiline_string_line_tracking() {
+        let l = lex("let s = \"one\ntwo\";\nfn after() {}");
+        let after = l.toks.iter().find(|t| t.text == "after").unwrap();
+        assert_eq!(after.line, 3);
+    }
+}

@@ -1,0 +1,295 @@
+//! `cargo run -p xtask -- sanitize` — drive the nightly-only dynamic
+//! analysis suite over the workspace's unsafe-heavy test subset:
+//!
+//! * **ASan (+LSan)** — `-Zsanitizer=address` over the SIMD kernels,
+//!   the mmap/diskindex round-trips, and the poller/event-loop stress
+//!   tests (raw-pointer loads, FFI, `from_raw_parts`).
+//! * **TSan** — `-Zsanitizer=thread` over the server's queue/slot
+//!   machinery (worker pool + event-loop handoff).
+//! * **Miri** — the pure-logic core that runs without sockets:
+//!   `half.rs` f16 conversions and the `SlotQueue` ordering logic.
+//!
+//! Every prerequisite is probed first; anything missing (no nightly
+//! toolchain, sanitizer not supported on this host, Miri component
+//! not installed) downgrades that suite to a SKIP with a warning and
+//! does NOT fail the run. Real test failures do.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+use std::process::{Command, ExitCode, Stdio};
+
+/// One `cargo test` invocation within a suite.
+struct Target {
+    package: &'static str,
+    /// Extra args after `--` (libtest name filters; empty = all).
+    filters: &'static [&'static str],
+}
+
+struct Suite {
+    name: &'static str,
+    /// `-Zsanitizer=<flag>`; empty for Miri.
+    sanitizer: &'static str,
+    targets: &'static [Target],
+}
+
+const SUITES: &[Suite] = &[
+    Suite {
+        name: "asan",
+        sanitizer: "address",
+        targets: &[
+            Target {
+                package: "seesaw-linalg",
+                filters: &["simd", "half"],
+            },
+            Target {
+                package: "seesaw-vecstore",
+                filters: &["diskindex"],
+            },
+            Target {
+                package: "seesaw-server",
+                filters: &["poll", "event_loop", "queue", "conn"],
+            },
+        ],
+    },
+    Suite {
+        name: "tsan",
+        sanitizer: "thread",
+        targets: &[Target {
+            package: "seesaw-server",
+            filters: &["queue", "conn"],
+        }],
+    },
+    Suite {
+        name: "miri",
+        sanitizer: "",
+        targets: &[
+            Target {
+                package: "seesaw-linalg",
+                filters: &["half::"],
+            },
+            Target {
+                package: "seesaw-server",
+                filters: &["conn::"],
+            },
+        ],
+    },
+];
+
+enum Outcome {
+    Pass,
+    Skip(String),
+    Fail(String),
+}
+
+pub fn run(root: &Path, report: Option<&Path>, only: &[String]) -> ExitCode {
+    let mut log = String::new();
+    let mut failed = false;
+
+    let nightly = probe(
+        "cargo +nightly",
+        Command::new("cargo").arg("+nightly").arg("--version"),
+    );
+    let host = host_triple();
+
+    for suite in SUITES {
+        if !only.is_empty() && !only.iter().any(|o| o == suite.name) {
+            continue;
+        }
+        let outcome = if !nightly {
+            Outcome::Skip("nightly toolchain unavailable".to_string())
+        } else {
+            run_suite(root, suite, &host)
+        };
+        match outcome {
+            Outcome::Pass => {
+                let _ = writeln!(log, "sanitize[{}]: PASS", suite.name);
+            }
+            Outcome::Skip(why) => {
+                let _ = writeln!(log, "sanitize[{}]: SKIP — {why}", suite.name);
+            }
+            Outcome::Fail(why) => {
+                failed = true;
+                let _ = writeln!(log, "sanitize[{}]: FAIL — {why}", suite.name);
+            }
+        }
+    }
+
+    let verdict = if failed { "FAIL" } else { "OK" };
+    let _ = writeln!(log, "xtask sanitize: {verdict}");
+    print!("{log}");
+    if let Some(path) = report {
+        if let Some(dir) = path.parent() {
+            let _ = fs::create_dir_all(dir);
+        }
+        if let Err(e) = fs::write(path, &log) {
+            eprintln!(
+                "xtask sanitize: cannot write report {}: {e}",
+                path.display()
+            );
+            return ExitCode::from(2);
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn run_suite(root: &Path, suite: &Suite, host: &Option<String>) -> Outcome {
+    if suite.name == "miri" {
+        let ok = probe(
+            "cargo +nightly miri",
+            Command::new("cargo")
+                .arg("+nightly")
+                .arg("miri")
+                .arg("--version"),
+        );
+        if !ok {
+            return Outcome::Skip("miri component not installed for nightly".to_string());
+        }
+        for t in suite.targets {
+            let mut cmd = Command::new("cargo");
+            cmd.current_dir(root)
+                .args([
+                    "+nightly", "miri", "test", "-p", t.package, "--lib", "-q", "--",
+                ])
+                .args(t.filters)
+                .env("CARGO_TARGET_DIR", root.join("target/xtask-miri"))
+                .env("MIRIFLAGS", "-Zmiri-strict-provenance");
+            if let Err(why) = run_to_completion(&mut cmd, t.package) {
+                return Outcome::Fail(why);
+            }
+        }
+        return Outcome::Pass;
+    }
+
+    // Sanitizer suites need an explicit `--target` so build scripts
+    // and proc-macros stay uninstrumented.
+    let Some(host) = host else {
+        return Outcome::Skip("could not determine host target triple".to_string());
+    };
+    if let Err(why) = probe_sanitizer(root, suite.sanitizer, host) {
+        return Outcome::Skip(why);
+    }
+    for t in suite.targets {
+        let mut cmd = Command::new("cargo");
+        cmd.current_dir(root)
+            .args([
+                "+nightly", "test", "-p", t.package, "--lib", "--target", host, "-q", "--",
+            ])
+            .args(t.filters)
+            .env("RUSTFLAGS", format!("-Zsanitizer={}", suite.sanitizer))
+            .env(
+                "CARGO_TARGET_DIR",
+                root.join(format!("target/xtask-{}", suite.name)),
+            );
+        if let Err(why) = run_to_completion(&mut cmd, t.package) {
+            return Outcome::Fail(why);
+        }
+    }
+    Outcome::Pass
+}
+
+/// Can this nightly actually compile AND run a `-Zsanitizer` binary
+/// on this host? (The flag parses everywhere; the runtime may be
+/// missing.) Probes with a trivial program in the target dir.
+fn probe_sanitizer(root: &Path, sanitizer: &str, host: &str) -> Result<(), String> {
+    let dir = root.join("target/xtask-probe");
+    if fs::create_dir_all(&dir).is_err() {
+        return Err("cannot create target/xtask-probe".to_string());
+    }
+    let src = dir.join(format!("probe_{sanitizer}.rs"));
+    let bin = dir.join(format!("probe_{sanitizer}.bin"));
+    if fs::write(
+        &src,
+        "fn main() { let v = vec![1u8, 2, 3]; assert_eq!(v.len(), 3); }\n",
+    )
+    .is_err()
+    {
+        return Err("cannot write sanitizer probe source".to_string());
+    }
+    let compiled = Command::new("rustc")
+        .arg("+nightly")
+        .arg(format!("-Zsanitizer={sanitizer}"))
+        .args(["--edition", "2021", "--target", host, "-o"])
+        .arg(&bin)
+        .arg(&src)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .map(|s| s.success())
+        .unwrap_or(false);
+    if !compiled {
+        return Err(format!(
+            "-Zsanitizer={sanitizer} not supported by this nightly/host"
+        ));
+    }
+    let ran = Command::new(&bin)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .map(|s| s.success())
+        .unwrap_or(false);
+    if !ran {
+        return Err(format!(
+            "-Zsanitizer={sanitizer} probe binary failed to run"
+        ));
+    }
+    Ok(())
+}
+
+/// Run a command, streaming its output; Err(reason) on non-zero exit.
+fn run_to_completion(cmd: &mut Command, what: &str) -> Result<(), String> {
+    eprintln!("sanitize: running {cmd:?}");
+    match cmd.status() {
+        Ok(s) if s.success() => Ok(()),
+        Ok(s) => Err(format!("{what}: exit {s}")),
+        Err(e) => Err(format!("{what}: spawn failed: {e}")),
+    }
+}
+
+/// Does `cmd` run successfully? Used for toolchain presence checks.
+fn probe(label: &str, cmd: &mut Command) -> bool {
+    let ok = cmd
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .map(|s| s.success())
+        .unwrap_or(false);
+    if !ok {
+        eprintln!("sanitize: probe failed: {label}");
+    }
+    ok
+}
+
+/// Host triple from `rustc -vV` (the `host: <triple>` line).
+fn host_triple() -> Option<String> {
+    let out = Command::new("rustc").arg("-vV").output().ok()?;
+    let text = String::from_utf8_lossy(&out.stdout);
+    text.lines()
+        .find_map(|l| l.strip_prefix("host: "))
+        .map(|s| s.trim().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_triple_parses() {
+        // rustc is always present in this workspace's toolchain.
+        let triple = host_triple().expect("rustc -vV output");
+        assert!(triple.contains('-'), "{triple}");
+    }
+
+    #[test]
+    fn suites_cover_all_three_analyzers() {
+        let names: Vec<_> = SUITES.iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["asan", "tsan", "miri"]);
+        for s in SUITES {
+            assert!(!s.targets.is_empty());
+        }
+    }
+}
